@@ -1,0 +1,149 @@
+"""Table 5: long-horizon forecasting MAE on the six TSF-like datasets.
+
+For every dataset and horizon the harness evaluates each forecaster with
+the rolling-origin protocol (standardized MAE, Informer convention) and
+reports the per-setting errors plus the average MAE, average rank and total
+runtime rows of the paper's Table 5.
+
+Expected shape (paper): the learned direct forecasters (here the ridge /
+NBEATS-lite proxies) and OneShotSTL are the two best groups, OneShotSTL has
+the best average rank, it wins on the strongly seasonal datasets
+(Electricity/Traffic-like) and falls behind on the weakly seasonal ones
+(Exchange/Illness-like), and the STD forecasters run orders of magnitude
+faster than the trained models.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.datasets import make_tsf_benchmark
+from repro.forecasting import (
+    AutoARIMAForecaster,
+    DirectRidgeForecaster,
+    HoltWintersForecaster,
+    NBeatsLiteForecaster,
+    OneShotSTLForecaster,
+    OnlineSTLForecaster,
+    SeasonalNaiveForecaster,
+    evaluate_on_series,
+)
+
+from helpers import average_rank, is_paper_scale, report
+
+
+def _horizons(series):
+    if is_paper_scale():
+        return list(series.horizons)
+    return [series.horizons[0], series.horizons[2]]
+
+
+def _forecasters(period: int, horizon: int):
+    input_window = min(max(3 * period, 96), 512)
+    return [
+        (
+            "DirectRidge",
+            lambda: DirectRidgeForecaster(input_window=input_window, horizon=horizon),
+        ),
+        (
+            "NBEATS-lite",
+            lambda: NBeatsLiteForecaster(
+                input_window=input_window,
+                horizon=horizon,
+                epochs=12,
+                blocks=2,
+                hidden=48,
+                max_training_windows=600,
+            ),
+        ),
+        ("HoltWinters", lambda: HoltWintersForecaster(period)),
+        ("AutoArima", lambda: AutoARIMAForecaster(period=period, max_order=3)),
+        ("SeasonalNaive", lambda: SeasonalNaiveForecaster(period)),
+        ("OnlineSTL", lambda: OnlineSTLForecaster(period)),
+        ("OneShotSTL", lambda: OneShotSTLForecaster(period, shift_window=20)),
+    ]
+
+
+def _collect():
+    benchmark = make_tsf_benchmark(seed=5)
+    max_origins = 8 if is_paper_scale() else 3
+    rows = []
+    per_setting_scores: dict[str, dict[str, float]] = {}
+    runtimes: dict[str, float] = {}
+
+    for dataset_name, series in benchmark.items():
+        for horizon in _horizons(series):
+            setting = f"{dataset_name}-{horizon}"
+            per_setting_scores[setting] = {}
+            for method_name, factory in _forecasters(series.period, horizon):
+                start = time.perf_counter()
+                evaluation = evaluate_on_series(
+                    factory(), series, horizon=horizon, max_origins=max_origins
+                )
+                runtimes[method_name] = runtimes.get(method_name, 0.0) + (
+                    time.perf_counter() - start
+                )
+                per_setting_scores[setting][method_name] = evaluation.mae
+                rows.append(
+                    {
+                        "dataset": dataset_name,
+                        "horizon": horizon,
+                        "method": method_name,
+                        "mae": evaluation.mae,
+                        "mse": evaluation.mse,
+                    }
+                )
+
+    method_names = [name for name, _ in _forecasters(24, 24)]
+    averages = {
+        name: float(np.mean([scores[name] for scores in per_setting_scores.values()]))
+        for name in method_names
+    }
+    ranks = average_rank(per_setting_scores, higher_is_better=False)
+    summary_rows = [
+        {"dataset": "Avg. MAE", "horizon": "-", "method": name, "mae": averages[name], "mse": float("nan")}
+        for name in method_names
+    ]
+    summary_rows += [
+        {"dataset": "Avg. Rank", "horizon": "-", "method": name, "mae": ranks[name], "mse": float("nan")}
+        for name in method_names
+    ]
+    summary_rows += [
+        {"dataset": "Time (s)", "horizon": "-", "method": name, "mae": runtimes[name], "mse": float("nan")}
+        for name in method_names
+    ]
+    return rows + summary_rows, averages, ranks, runtimes, per_setting_scores
+
+
+def test_table5_tsf_benchmark(run_once):
+    rows, averages, ranks, runtimes, per_setting = run_once(_collect)
+    report("table5_tsf", "Table 5: forecasting MAE on the TSF-like benchmark", rows)
+
+    # Shape checks mirroring the paper's conclusions.
+    sorted_by_rank = sorted(ranks, key=ranks.get)
+    assert "OneShotSTL" in sorted_by_rank[:3], ranks
+    assert ranks["OneShotSTL"] < ranks["OnlineSTL"], ranks
+    assert ranks["OneShotSTL"] < ranks["AutoArima"], ranks
+    # OneShotSTL is the best *non-trained* forecaster on the strongly
+    # seasonal Traffic-like dataset (the paper's headline win; here the
+    # direct-ridge proxy that stands in for the deep models is allowed to be
+    # ahead because the synthetic data are friendlier to it than the real
+    # Traffic data are to FiLM).
+    trained = {"DirectRidge", "NBEATS-lite"}
+    traffic_settings = [key for key in per_setting if key.startswith("Traffic")]
+    wins = sum(
+        1
+        for key in traffic_settings
+        if min(
+            (m for m in per_setting[key] if m not in trained),
+            key=per_setting[key].get,
+        )
+        == "OneShotSTL"
+    )
+    assert wins >= len(traffic_settings) / 2, per_setting
+    # The STD forecaster family is far faster than the trained proxies per
+    # evaluation (OnlineSTL certainly; OneShotSTL pays the interpreted-Python
+    # constant discussed in EXPERIMENTS.md).
+    assert runtimes["OnlineSTL"] < runtimes["NBEATS-lite"]

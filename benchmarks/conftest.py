@@ -1,0 +1,25 @@
+"""Benchmark-suite configuration.
+
+The benchmarks measure end-to-end experiment regeneration, not
+micro-operations, so every benchmark runs exactly once (``pedantic`` with a
+single round) -- repeated rounds would multiply multi-minute workloads.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the benchmark helpers importable as a plain module regardless of the
+# directory pytest is invoked from.
+sys.path.insert(0, str(Path(__file__).parent))
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

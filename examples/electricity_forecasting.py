@@ -1,0 +1,53 @@
+"""Long-horizon forecasting on an Electricity-like load series.
+
+Compares OneShotSTL's decomposition-based forecast against a seasonal-naive
+baseline and the direct ridge proxy on a strongly seasonal electricity-load
+style series, using the same rolling-origin protocol as the paper's
+Table 5, and reports both accuracy and wall-clock time.
+
+Run with:  python examples/electricity_forecasting.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.datasets import make_tsf_dataset
+from repro.forecasting import (
+    DirectRidgeForecaster,
+    OneShotSTLForecaster,
+    SeasonalNaiveForecaster,
+    evaluate_on_series,
+)
+
+
+def main() -> None:
+    series = make_tsf_dataset("Electricity", seed=1)
+    horizon = 96
+    print(f"dataset: {series.name}, period {series.period}, length {len(series)}")
+    print(f"forecast horizon: {horizon}, rolling origins: 5\n")
+
+    forecasters = [
+        SeasonalNaiveForecaster(series.period),
+        DirectRidgeForecaster(input_window=4 * series.period, horizon=horizon),
+        OneShotSTLForecaster(series.period, shift_window=20),
+    ]
+
+    print(f"{'method':15s} {'MAE':>8s} {'MSE':>8s} {'seconds':>8s}")
+    for forecaster in forecasters:
+        start = time.perf_counter()
+        evaluation = evaluate_on_series(forecaster, series, horizon=horizon, max_origins=5)
+        elapsed = time.perf_counter() - start
+        print(
+            f"{evaluation.method:15s} {evaluation.mae:8.4f} {evaluation.mse:8.4f} {elapsed:8.2f}"
+        )
+
+    print(
+        "\nOn strongly seasonal load data the decomposition-based forecast is "
+        "competitive with the trained model at a fraction of the cost, which "
+        "is the paper's Table 5 takeaway."
+    )
+
+
+if __name__ == "__main__":
+    main()

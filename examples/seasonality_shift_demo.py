@@ -1,0 +1,66 @@
+"""Seasonality-shift handling (paper Section 3.4) in action.
+
+Builds a stream whose seasonal pattern shifts by 12 samples halfway
+through -- the situation Figure 3 of the paper illustrates -- and compares
+OneShotSTL with the shift search disabled (H = 0) and enabled (H = 20).
+The run prints the residual size around the shift and the shift the search
+identified.
+
+Run with:  python examples/seasonality_shift_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import OneShotSTL
+
+
+def main() -> None:
+    period = 100
+    cycles = 16
+    shift = 12
+    rng = np.random.default_rng(3)
+    time_index = np.arange(period * cycles)
+
+    seasonal = np.sin(2 * np.pi * time_index / period) + 0.4 * np.sin(
+        4 * np.pi * time_index / period
+    )
+    values = seasonal + 0.03 * rng.normal(size=time_index.size)
+    shift_start = period * 10
+    values[shift_start:] = (
+        np.sin(2 * np.pi * (time_index[shift_start:] + shift) / period)
+        + 0.4 * np.sin(4 * np.pi * (time_index[shift_start:] + shift) / period)
+        + 0.03 * rng.normal(size=time_index.size - shift_start)
+    )
+
+    initialization_length = period * 6
+    results = {}
+    for shift_window in (0, 20):
+        model = OneShotSTL(period, shift_window=shift_window, shift_threshold=4.0)
+        model.initialize(values[:initialization_length])
+        residuals = np.array(
+            [model.update(float(v)).residual for v in values[initialization_length:]]
+        )
+        results[shift_window] = (residuals, model.current_shift)
+
+    window = slice(shift_start - initialization_length, shift_start - initialization_length + period)
+    print(f"true shift injected at index {shift_start}: {shift} samples\n")
+    for shift_window, (residuals, detected) in results.items():
+        transition_error = np.abs(residuals[window]).mean()
+        steady_error = np.abs(residuals[window.stop :]).mean()
+        print(
+            f"H = {shift_window:2d}: mean |residual| during the shifted period "
+            f"= {transition_error:.4f}, afterwards = {steady_error:.4f}, "
+            f"last detected shift = {detected}"
+        )
+
+    print(
+        "\nWith H = 20 the search recognizes the shifted phase immediately, so "
+        "the residual stays near the noise floor through the transition instead "
+        "of spiking for a whole period."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""OneShotSTL reproduction: online seasonal-trend decomposition for TSAD and TSF.
+
+This package is a from-scratch Python reproduction of
+
+    He, Li, Tan, Wu, Li.  "OneShotSTL: One-Shot Seasonal-Trend Decomposition
+    For Online Time Series Anomaly Detection And Forecasting."
+    PVLDB 16(6), 2023.
+
+The most common entry points are re-exported here:
+
+* :class:`OneShotSTL` -- online decomposition with O(1) updates (the paper's
+  contribution), plus :class:`JointSTL` (its batch form).
+* :class:`STL`, :class:`RobustSTL`, :class:`OnlineSTL` -- the decomposition
+  baselines.
+* :class:`OneShotSTLDetector` / :class:`OneShotSTLForecaster` -- the
+  downstream anomaly-detection and forecasting wrappers of Section 4.
+* :class:`StreamingPipeline` -- decomposition + scoring + forecasting wired
+  together for production-style streaming use.
+* :func:`find_length` -- autocorrelation-based period detection.
+
+Subpackages: ``core``, ``decomposition``, ``anomaly``, ``forecasting``,
+``metrics``, ``datasets``, ``periodicity``, ``solvers``, ``neural``,
+``streaming``, ``utils``.  See README.md and DESIGN.md for the full map.
+"""
+
+from repro.core import JointSTL, ModifiedJointSTL, NSigma, OneShotSTL, select_lambda
+from repro.decomposition import (
+    STL,
+    DecompositionPoint,
+    DecompositionResult,
+    OnlineSTL,
+    RobustSTL,
+)
+from repro.periodicity import find_length
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DecompositionPoint",
+    "DecompositionResult",
+    "JointSTL",
+    "ModifiedJointSTL",
+    "NSigma",
+    "OneShotSTL",
+    "OnlineSTL",
+    "RobustSTL",
+    "STL",
+    "__version__",
+    "find_length",
+    "select_lambda",
+]
+
+
+def __getattr__(name):
+    """Lazily expose the heavier downstream wrappers at the package root."""
+    if name in ("OneShotSTLDetector", "OnlineSTLDetector", "NSigmaDetector"):
+        from repro import anomaly
+
+        return getattr(anomaly, name)
+    if name in ("OneShotSTLForecaster", "OnlineSTLForecaster"):
+        from repro import forecasting
+
+        return getattr(forecasting, name)
+    if name == "StreamingPipeline":
+        from repro.streaming import StreamingPipeline
+
+        return StreamingPipeline
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,62 @@
+"""Time-series anomaly detection methods and scoring wrappers.
+
+Streaming / decomposition-based
+-------------------------------
+:class:`NSigma` / :class:`NSigmaDetector`
+    Streaming z-score scoring (paper Algorithm 6).
+:class:`STDDetector`, :class:`OneShotSTLDetector`, :class:`OnlineSTLDetector`
+    Online decomposition + residual NSigma scoring (paper Section 4).
+
+Matrix-profile based
+--------------------
+:func:`matrix_profile`, :class:`Stompi`, :class:`StompDetector`
+    Batch and incremental matrix profile (STOMP / STOMPI).
+:class:`DampDetector`
+    Discord-aware matrix profile with pruning (DAMP).
+:class:`NormaDetector`, :class:`SandDetector`
+    Normal-model clustering methods (batch and streaming).
+:class:`PrefilteredDampDetector`
+    The paper's STD + DAMP combination (Table 4).
+
+Learned proxy
+-------------
+:class:`AutoencoderDetector`
+    Window autoencoder standing in for the GPU deep-learning baselines.
+"""
+
+from repro.anomaly.autoencoder import AutoencoderDetector
+from repro.anomaly.base import AnomalyDetector, score_anomaly_series
+from repro.anomaly.damp import DampDetector, damp_scores
+from repro.anomaly.matrix_profile import StompDetector, Stompi, mass, matrix_profile
+from repro.anomaly.norma import NormaDetector, kmeans
+from repro.anomaly.nsigma import NSigma, NSigmaVerdict
+from repro.anomaly.prefilter import PrefilteredDampDetector
+from repro.anomaly.sand import SandDetector
+from repro.anomaly.std_detector import (
+    NSigmaDetector,
+    OneShotSTLDetector,
+    OnlineSTLDetector,
+    STDDetector,
+)
+
+__all__ = [
+    "AnomalyDetector",
+    "AutoencoderDetector",
+    "DampDetector",
+    "NSigma",
+    "NSigmaDetector",
+    "NSigmaVerdict",
+    "NormaDetector",
+    "OneShotSTLDetector",
+    "OnlineSTLDetector",
+    "PrefilteredDampDetector",
+    "STDDetector",
+    "SandDetector",
+    "StompDetector",
+    "Stompi",
+    "damp_scores",
+    "kmeans",
+    "mass",
+    "matrix_profile",
+    "score_anomaly_series",
+]

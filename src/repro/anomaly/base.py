@@ -1,0 +1,49 @@
+"""Common interface of the anomaly detectors.
+
+Every detector -- whether it is a batch matrix-profile method, a streaming
+decomposition-based method or a trained neural proxy -- exposes the same
+entry point::
+
+    scores = detector.detect(train_values, test_values)
+
+``train_values`` is the anomaly-free prefix used for initialization or
+training (the paper's setting for the TSB-UAD and KDD21 experiments) and
+``scores`` contains one anomaly score per *test* point, higher meaning more
+anomalous.  Having a single signature is what lets the Table 3/4 benchmark
+harnesses iterate over heterogeneous methods.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.datasets.types import AnomalySeries
+from repro.utils import as_float_array
+
+__all__ = ["AnomalyDetector", "score_anomaly_series"]
+
+
+class AnomalyDetector(ABC):
+    """A univariate time-series anomaly detector."""
+
+    #: human-readable name used in benchmark tables
+    name: str = "detector"
+
+    @abstractmethod
+    def detect(self, train_values, test_values) -> np.ndarray:
+        """Return one anomaly score per test point (higher = more anomalous)."""
+
+    def _validate(self, train_values, test_values) -> tuple[np.ndarray, np.ndarray]:
+        train = as_float_array(train_values, "train_values", min_length=2)
+        test = as_float_array(test_values, "test_values", min_length=1)
+        return train, test
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def score_anomaly_series(detector: AnomalyDetector, series: AnomalySeries) -> np.ndarray:
+    """Score the test region of a labelled series with ``detector``."""
+    return detector.detect(series.train_values, series.test_values)

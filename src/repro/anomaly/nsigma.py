@@ -1,0 +1,10 @@
+"""Streaming NSigma anomaly scorer (paper Algorithm 6).
+
+The implementation lives in :mod:`repro.core.nsigma` because OneShotSTL's
+seasonality-shift handling depends on it; it is re-exported here because it
+is also a standalone TSAD baseline (Tables 3 and 4).
+"""
+
+from repro.core.nsigma import NSigma, NSigmaVerdict
+
+__all__ = ["NSigma", "NSigmaVerdict"]

@@ -1,0 +1,136 @@
+"""Decomposition-based anomaly detectors (paper Section 4, Tables 3/4).
+
+The STD detectors initialize an online decomposer on the training prefix,
+stream the test region through it and score every point with the streaming
+NSigma statistic of the decomposed residual.  Any online decomposer works;
+the paper evaluates OneShotSTL and OnlineSTL, and uses plain NSigma on the
+raw values as the no-decomposition control.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.anomaly.base import AnomalyDetector
+from repro.anomaly.nsigma import NSigma
+from repro.core.oneshotstl import OneShotSTL
+from repro.decomposition.base import OnlineDecomposer
+from repro.decomposition.online_stl import OnlineSTL
+from repro.utils import check_positive
+
+__all__ = [
+    "NSigmaDetector",
+    "STDDetector",
+    "OneShotSTLDetector",
+    "OnlineSTLDetector",
+]
+
+
+class NSigmaDetector(AnomalyDetector):
+    """Streaming NSigma applied directly to the raw values (no decomposition)."""
+
+    name = "NSigma"
+
+    def __init__(self, threshold: float = 5.0):
+        self.threshold = check_positive(threshold, "threshold")
+
+    def detect(self, train_values, test_values) -> np.ndarray:
+        train, test = self._validate(train_values, test_values)
+        scorer = NSigma(self.threshold)
+        for value in train:
+            scorer.update(float(value))
+        return scorer.score_series(test)
+
+
+class STDDetector(AnomalyDetector):
+    """Online decomposition followed by NSigma scoring of the residual.
+
+    Parameters
+    ----------
+    decomposer_factory:
+        Callable returning a *fresh* online decomposer (the detector is
+        reused across many series, so each series needs its own instance).
+    threshold:
+        NSigma threshold used for scoring (scores themselves are continuous;
+        the threshold only matters for the boolean flag, which the
+        benchmarks do not use).
+    name:
+        Reported method name.
+    """
+
+    def __init__(
+        self,
+        decomposer_factory: Callable[[], OnlineDecomposer],
+        threshold: float = 5.0,
+        name: str = "STD+NSigma",
+    ):
+        self.decomposer_factory = decomposer_factory
+        self.threshold = check_positive(threshold, "threshold")
+        self.name = name
+
+    def detect(self, train_values, test_values) -> np.ndarray:
+        train, test = self._validate(train_values, test_values)
+        decomposer = self.decomposer_factory()
+        init_result = decomposer.initialize(train)
+        scorer = NSigma(self.threshold)
+        for residual_value in init_result.residual:
+            scorer.update(float(residual_value))
+        scores = np.empty(test.size)
+        for index, value in enumerate(test):
+            point = decomposer.update(float(value))
+            # OneShotSTL exposes the residual it saw *before* its
+            # seasonality-shift correction; that is the right quantity to
+            # score (a spike must not be explained away as a shift).
+            residual = getattr(decomposer, "last_detection_residual", None)
+            if residual is None:
+                residual = point.residual
+            scores[index] = scorer.update(float(residual)).score
+        return scores
+
+
+class OneShotSTLDetector(STDDetector):
+    """OneShotSTL + NSigma (the paper's proposed TSAD method).
+
+    The default trend smoothness is deliberately stiffer (``lambda = 100``)
+    than the decomposition default: for anomaly detection the trend must not
+    bend around outliers, otherwise part of the anomaly is absorbed before
+    the residual is scored.  The paper reaches the same effect by tuning
+    ``lambda`` per dataset on the training window (Section 5.1.4); pass
+    explicit values to override.
+    """
+
+    def __init__(
+        self,
+        period: int,
+        lambda1: float = 100.0,
+        lambda2: float = 100.0,
+        iterations: int = 8,
+        shift_window: int = 20,
+        threshold: float = 5.0,
+    ):
+        self.period = period
+        super().__init__(
+            decomposer_factory=lambda: OneShotSTL(
+                period,
+                lambda1=lambda1,
+                lambda2=lambda2,
+                iterations=iterations,
+                shift_window=shift_window,
+            ),
+            threshold=threshold,
+            name="OneShotSTL",
+        )
+
+
+class OnlineSTLDetector(STDDetector):
+    """OnlineSTL + NSigma (the main online STD baseline)."""
+
+    def __init__(self, period: int, smoothing: float = 0.7, threshold: float = 5.0):
+        self.period = period
+        super().__init__(
+            decomposer_factory=lambda: OnlineSTL(period, smoothing=smoothing),
+            threshold=threshold,
+            name="OnlineSTL",
+        )

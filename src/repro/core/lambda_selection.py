@@ -1,0 +1,104 @@
+"""Automatic selection of the trend-smoothness parameter ``lambda``.
+
+The paper ties ``lambda_1 = lambda_2 = lambda`` and selects the value on the
+training/initialization window by running both STL and OneShotSTL with each
+candidate ``lambda in {1, 10, 100, 1000, 10000}`` and keeping the candidate
+whose decomposition is closest (smallest MAE on the trend and seasonal
+components) to STL's (Section 5.1.4).  :func:`select_lambda` reproduces that
+procedure; a cheaper variant based on the batch JointSTL model is available
+through the ``method`` argument.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.joint_stl import JointSTL
+from repro.core.oneshotstl import OneShotSTL
+from repro.decomposition.stl import STL
+from repro.utils import as_float_array, check_period
+
+__all__ = ["select_lambda", "DEFAULT_LAMBDA_GRID"]
+
+#: Candidate grid used by the paper (10^0 .. 10^4).
+DEFAULT_LAMBDA_GRID: Sequence[float] = (1.0, 10.0, 100.0, 1000.0, 10000.0)
+
+
+def select_lambda(
+    values,
+    period: int,
+    candidates: Iterable[float] = DEFAULT_LAMBDA_GRID,
+    iterations: int = 8,
+    method: str = "oneshotstl",
+    initialization_length: int | None = None,
+) -> float:
+    """Pick the ``lambda`` whose decomposition best matches STL on ``values``.
+
+    Parameters
+    ----------
+    values:
+        Training window (should cover several seasonal periods).
+    period:
+        Seasonal period length.
+    candidates:
+        Candidate ``lambda`` values.
+    iterations:
+        IRLS iteration count used while evaluating candidates.
+    method:
+        ``"oneshotstl"`` (paper procedure: run the online method over the
+        window) or ``"jointstl"`` (cheaper: run the batch joint model).
+    initialization_length:
+        Length of the prefix used to initialize the online method when
+        ``method == "oneshotstl"``; defaults to two periods.
+
+    Returns
+    -------
+    float
+        The selected ``lambda``.
+    """
+    values = as_float_array(values, "values", min_length=3 * check_period(period))
+    if method not in ("oneshotstl", "jointstl"):
+        raise ValueError("method must be 'oneshotstl' or 'jointstl'")
+
+    reference = STL(period, seasonal_window="periodic").decompose(values)
+
+    if initialization_length is None:
+        initialization_length = 2 * period
+    initialization_length = min(initialization_length, values.size - period)
+
+    best_lambda = None
+    best_error = np.inf
+    for candidate in candidates:
+        candidate = float(candidate)
+        if method == "jointstl":
+            model = JointSTL(
+                period, lambda1=candidate, lambda2=candidate, iterations=iterations
+            )
+            result = model.decompose(values)
+            trend = result.trend
+            seasonal = result.seasonal
+            comparison_slice = slice(0, values.size)
+        else:
+            model = OneShotSTL(
+                period,
+                lambda1=candidate,
+                lambda2=candidate,
+                iterations=iterations,
+                shift_window=0,
+            )
+            result = model.decompose(values, initialization_length)
+            trend = result.trend
+            seasonal = result.seasonal
+            comparison_slice = slice(initialization_length, values.size)
+        error = float(
+            np.mean(np.abs(trend[comparison_slice] - reference.trend[comparison_slice]))
+            + np.mean(
+                np.abs(seasonal[comparison_slice] - reference.seasonal[comparison_slice])
+            )
+        )
+        if error < best_error:
+            best_error = error
+            best_lambda = candidate
+    return float(best_lambda)

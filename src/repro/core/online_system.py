@@ -1,0 +1,113 @@
+"""Construction of the online (modified) JointSTL linear system.
+
+The modified JointSTL problem (paper Problem (7) / Eq. (8)) is a least
+squares problem over the interleaved variable vector
+
+    x = [tau_1, s_1, tau_2, s_2, ..., tau_M, s_M]
+
+covering the ``M`` points seen so far in the online phase.  Its normal
+equations ``A x = b`` form a symmetric positive-definite banded system with
+half bandwidth 4.  Each newly arrived point adds four kinds of terms:
+
+* the fit term            ``(tau_j + s_j - y_j)^2``,
+* the seasonal anchor     ``(s_j - v_{j mod T})^2``,
+* the first-difference    ``lambda_1 * p_j * (tau_j - tau_{j-1})^2`` and
+* the second-difference   ``lambda_2 * q_j * (tau_j - 2 tau_{j-1} + tau_{j-2})^2``
+
+(the last two only once enough points are in the window).  Crucially these
+terms touch only the newest variables and the trailing four indices of the
+previous system, which is what allows the O(1) incremental factorization.
+
+:func:`point_contributions` returns the coefficient updates and new
+right-hand-side entries of one point.  Both the exact Algorithm-2 reference
+(:class:`repro.core.modified_joint_stl.ModifiedJointSTL`) and the O(1)
+OneShotSTL implementation consume the *same* contributions, which is what
+makes the "OneShotSTL equals the reference to machine precision" test
+meaningful.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+__all__ = ["HALF_BANDWIDTH", "point_contributions"]
+
+#: Half bandwidth of the interleaved online system (paper: banded matrix of
+#: total bandwidth 9).
+HALF_BANDWIDTH = 4
+
+
+def point_contributions(
+    point_index: int,
+    value: float,
+    anchor: float,
+    lambda1: float,
+    lambda2: float,
+    p_weight: float,
+    q_weight: float,
+) -> Tuple[List[Tuple[int, int, float]], List[float]]:
+    """Return the system contributions of the ``point_index``-th online point.
+
+    Parameters
+    ----------
+    point_index:
+        Zero-based position of the point within the online window.
+    value:
+        The observation ``y_j``.
+    anchor:
+        The seasonal buffer value ``v_{j mod T}`` (possibly shift-corrected)
+        that anchors the new seasonal variable.
+    lambda1, lambda2:
+        Trend smoothness hyper-parameters.
+    p_weight, q_weight:
+        IRLS weights of the first/second trend-difference terms introduced by
+        this point (1.0 in the first IRLS iteration).
+
+    Returns
+    -------
+    (updates, rhs_new):
+        ``updates`` is a list of ``(row, column, value)`` additions to the
+        symmetric matrix ``A`` using absolute variable indices, and
+        ``rhs_new`` the two right-hand-side entries of the appended trend and
+        seasonal variables.
+    """
+    if point_index < 0:
+        raise ValueError("point_index must be non-negative")
+    trend_index = 2 * point_index
+    seasonal_index = trend_index + 1
+
+    updates: List[Tuple[int, int, float]] = [
+        # Fit term (tau + s - y)^2 ...
+        (trend_index, trend_index, 1.0),
+        (seasonal_index, seasonal_index, 1.0),
+        (seasonal_index, trend_index, 1.0),
+        # ... plus the seasonal anchor term (s - v)^2.
+        (seasonal_index, seasonal_index, 1.0),
+    ]
+    rhs_new = [float(value), float(value) + float(anchor)]
+
+    if point_index >= 1:
+        previous_trend = trend_index - 2
+        weight = float(lambda1) * float(p_weight)
+        updates.extend(
+            [
+                (trend_index, trend_index, weight),
+                (previous_trend, previous_trend, weight),
+                (trend_index, previous_trend, -weight),
+            ]
+        )
+    if point_index >= 2:
+        previous_trend = trend_index - 2
+        before_previous = trend_index - 4
+        weight = float(lambda2) * float(q_weight)
+        updates.extend(
+            [
+                (trend_index, trend_index, weight),
+                (previous_trend, previous_trend, 4.0 * weight),
+                (before_previous, before_previous, weight),
+                (trend_index, previous_trend, -2.0 * weight),
+                (trend_index, before_previous, weight),
+                (previous_trend, before_previous, -2.0 * weight),
+            ]
+        )
+    return updates, rhs_new

@@ -1,0 +1,164 @@
+"""Anomaly injection utilities.
+
+The TSB-UAD- and KDD21-like generators build labelled series by injecting
+anomalies of the kinds that dominate those benchmarks: point spikes and
+dips, short collective bursts, level shifts, temporary seasonal-pattern
+changes and flat (stuck-sensor) segments.  Every injector returns the
+modified series together with the point labels it produced, so generators
+can compose several anomaly types in one series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_positive_int
+
+__all__ = [
+    "inject_spike",
+    "inject_dip",
+    "inject_level_shift",
+    "inject_collective",
+    "inject_pattern_change",
+    "inject_flatline",
+    "random_anomalies",
+]
+
+
+def _empty_labels(values: np.ndarray) -> np.ndarray:
+    return np.zeros(values.size, dtype=int)
+
+
+def inject_spike(values, position: int, magnitude: float = 5.0):
+    """Add a single-point positive spike of ``magnitude`` standard deviations."""
+    values = np.array(values, dtype=float)
+    labels = _empty_labels(values)
+    scale = values.std() if values.std() > 0 else 1.0
+    values[position] += magnitude * scale
+    labels[position] = 1
+    return values, labels
+
+
+def inject_dip(values, position: int, magnitude: float = 5.0):
+    """Add a single-point negative dip."""
+    values, labels = inject_spike(values, position, -magnitude)
+    return values, labels
+
+
+def inject_collective(values, start: int, length: int, magnitude: float = 3.0):
+    """Add a contiguous anomalous burst of ``length`` points."""
+    values = np.array(values, dtype=float)
+    labels = _empty_labels(values)
+    length = check_positive_int(length, "length")
+    stop = min(start + length, values.size)
+    scale = values.std() if values.std() > 0 else 1.0
+    rng = np.random.default_rng(start * 7919 + length)
+    values[start:stop] += magnitude * scale * (0.5 + rng.random(stop - start))
+    labels[start:stop] = 1
+    return values, labels
+
+
+def inject_level_shift(values, start: int, magnitude: float = 3.0, labelled_length: int = 20):
+    """Shift the level of the series from ``start`` onwards.
+
+    Only the first ``labelled_length`` points after the change are labelled
+    anomalous (the new level becomes the new normal), matching how level
+    shifts are labelled in the public benchmarks.
+    """
+    values = np.array(values, dtype=float)
+    labels = _empty_labels(values)
+    scale = values.std() if values.std() > 0 else 1.0
+    values[start:] += magnitude * scale
+    labels[start : min(start + labelled_length, values.size)] = 1
+    return values, labels
+
+
+def inject_pattern_change(values, start: int, length: int, period: int, stretch: float = 2.0):
+    """Temporarily distort the seasonal pattern (frequency change).
+
+    The segment ``[start, start + length)`` is replaced by a re-sampled
+    version of itself whose local frequency is multiplied by ``stretch``.
+    """
+    values = np.array(values, dtype=float)
+    labels = _empty_labels(values)
+    length = check_positive_int(length, "length")
+    period = check_positive_int(period, "period")
+    stop = min(start + length, values.size)
+    segment = values[start:stop]
+    source_positions = np.clip(
+        (np.arange(segment.size) * stretch).astype(int), 0, segment.size - 1
+    )
+    values[start:stop] = segment[source_positions]
+    labels[start:stop] = 1
+    return values, labels
+
+
+def inject_flatline(values, start: int, length: int):
+    """Replace a segment with a constant (stuck sensor)."""
+    values = np.array(values, dtype=float)
+    labels = _empty_labels(values)
+    length = check_positive_int(length, "length")
+    stop = min(start + length, values.size)
+    values[start:stop] = values[start]
+    labels[start:stop] = 1
+    return values, labels
+
+
+def random_anomalies(
+    values,
+    period: int,
+    count: int,
+    seed: int = 0,
+    start_at: int = 0,
+    kinds: tuple[str, ...] = ("spike", "dip", "collective", "level_shift", "pattern", "flat"),
+):
+    """Inject ``count`` randomly chosen, non-overlapping anomalies.
+
+    Anomalies are only placed at or after ``start_at`` (used to keep the
+    training prefix clean).  Returns ``(values, labels)``.
+    """
+    values = np.array(values, dtype=float)
+    labels = np.zeros(values.size, dtype=int)
+    rng = np.random.default_rng(seed)
+    count = check_positive_int(count, "count", minimum=0)
+    if count == 0:
+        return values, labels
+    margin = max(period, 20)
+    minimum_start = max(start_at, margin)
+    maximum_start = values.size - margin
+    if maximum_start <= minimum_start:
+        return values, labels
+
+    used: list[tuple[int, int]] = []
+    attempts = 0
+    injected = 0
+    while injected < count and attempts < 50 * count:
+        attempts += 1
+        kind = kinds[int(rng.integers(len(kinds)))]
+        position = int(rng.integers(minimum_start, maximum_start))
+        length = int(rng.integers(max(3, period // 10), max(6, period // 2)))
+        window = (position - margin, position + length + margin)
+        if any(not (window[1] < lo or window[0] > hi) for lo, hi in used):
+            continue
+        if kind == "spike":
+            values, new_labels = inject_spike(values, position, magnitude=float(rng.uniform(4, 8)))
+        elif kind == "dip":
+            values, new_labels = inject_dip(values, position, magnitude=float(rng.uniform(4, 8)))
+        elif kind == "collective":
+            values, new_labels = inject_collective(
+                values, position, length, magnitude=float(rng.uniform(2, 4))
+            )
+        elif kind == "level_shift":
+            values, new_labels = inject_level_shift(
+                values, position, magnitude=float(rng.uniform(2, 4))
+            )
+        elif kind == "pattern":
+            values, new_labels = inject_pattern_change(
+                values, position, length, period, stretch=float(rng.uniform(1.5, 3.0))
+            )
+        else:
+            values, new_labels = inject_flatline(values, position, length)
+        labels = np.maximum(labels, new_labels)
+        used.append(window)
+        injected += 1
+    return values, labels

@@ -1,0 +1,141 @@
+"""Synthetic decomposition-quality datasets (paper Section 5.1.1, Figure 4).
+
+``Syn1`` exercises abrupt trend changes: a seasonal signal of period 500
+whose trend jumps twice, plus Gaussian noise and occasional spikes.
+``Syn2`` exercises seasonality shifts: a seasonal signal of period 250 in
+which four periods are shifted by 10 samples (visually indistinguishable,
+but fatal for methods that assume perfectly aligned cycles).
+
+The generators follow the structural description in the paper (exact noise
+seeds are not published) and return the ground-truth components so that the
+decomposition MAE of Table 2 can be computed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.types import ComponentSeries
+from repro.utils import check_period, check_positive_int
+
+__all__ = ["make_seasonal", "make_syn1", "make_syn2", "repeat_series"]
+
+
+def make_seasonal(
+    length: int,
+    period: int,
+    shape: str = "sine",
+    amplitude: float = 1.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Build one seasonal template repeated over ``length`` samples.
+
+    ``shape`` may be ``"sine"`` (smooth), ``"mixed"`` (two harmonics) or
+    ``"sharp"`` (asymmetric sawtooth-like burst, closer to request-rate
+    metrics).
+    """
+    length = check_positive_int(length, "length")
+    period = check_period(period)
+    time = np.arange(length)
+    phase = 2 * np.pi * (time % period) / period
+    if shape == "sine":
+        seasonal = np.sin(phase)
+    elif shape == "mixed":
+        seasonal = np.sin(phase) + 0.5 * np.sin(2 * phase) + 0.25 * np.cos(3 * phase)
+    elif shape == "sharp":
+        relative = (time % period) / period
+        seasonal = np.exp(-((relative - 0.35) ** 2) / 0.01) + 0.6 * np.exp(
+            -((relative - 0.7) ** 2) / 0.005
+        )
+        seasonal = seasonal - seasonal.mean()
+    else:
+        raise ValueError("shape must be 'sine', 'mixed' or 'sharp'")
+    return amplitude * seasonal
+
+
+def make_syn1(
+    length: int = 7000,
+    period: int = 500,
+    noise: float = 0.1,
+    seed: int = 0,
+) -> ComponentSeries:
+    """Syn1: abrupt trend changes on top of a period-500 seasonal signal."""
+    length = check_positive_int(length, "length")
+    period = check_period(period)
+    rng = np.random.default_rng(seed)
+    time = np.arange(length)
+
+    trend = np.zeros(length)
+    trend += 0.0002 * time
+    first_break = int(length * 0.45)
+    second_break = int(length * 0.75)
+    trend += 1.5 * (time >= first_break)
+    trend += 1.0 * (time >= second_break)
+
+    seasonal = make_seasonal(length, period, shape="mixed", amplitude=1.0)
+    residual = rng.normal(0.0, noise, size=length)
+    spike_positions = rng.choice(length, size=max(3, length // 1500), replace=False)
+    residual[spike_positions] += rng.choice([-1.0, 1.0], size=spike_positions.size) * rng.uniform(
+        0.8, 1.5, size=spike_positions.size
+    )
+
+    values = trend + seasonal + residual
+    return ComponentSeries(
+        name="Syn1",
+        values=values,
+        trend=trend,
+        seasonal=seasonal,
+        residual=residual,
+        period=period,
+    )
+
+
+def make_syn2(
+    length: int = 2500,
+    period: int = 250,
+    noise: float = 0.05,
+    shift: int = 10,
+    shifted_periods: int = 4,
+    seed: int = 1,
+) -> ComponentSeries:
+    """Syn2: four seasonal periods shifted by ``shift`` samples (period 250)."""
+    length = check_positive_int(length, "length")
+    period = check_period(period)
+    rng = np.random.default_rng(seed)
+    time = np.arange(length)
+
+    trend = 0.5 * np.ones(length) + 0.0001 * time
+    phase_offsets = np.zeros(length, dtype=int)
+    total_periods = length // period
+    shifted = rng.choice(
+        np.arange(2, max(3, total_periods)), size=min(shifted_periods, max(1, total_periods - 2)), replace=False
+    )
+    for cycle in shifted:
+        start = cycle * period
+        stop = min(start + period, length)
+        phase_offsets[start:stop] = shift
+    phase = 2 * np.pi * ((time + phase_offsets) % period) / period
+    seasonal = np.sin(phase) + 0.4 * np.sin(2 * phase)
+
+    residual = rng.normal(0.0, noise, size=length)
+    values = trend + seasonal + residual
+    return ComponentSeries(
+        name="Syn2",
+        values=values,
+        trend=trend,
+        seasonal=seasonal,
+        residual=residual,
+        period=period,
+    )
+
+
+def repeat_series(series: np.ndarray, target_length: int) -> np.ndarray:
+    """Tile ``series`` until it reaches ``target_length`` samples.
+
+    Used by the Figure-7 scalability experiment, which builds a 200,000-point
+    stream by repeating Syn1.
+    """
+    series = np.asarray(series, dtype=float)
+    target_length = check_positive_int(target_length, "target_length")
+    repetitions = int(np.ceil(target_length / series.size))
+    return np.tile(series, repetitions)[:target_length]

@@ -1,0 +1,116 @@
+"""Dataset containers shared by the generators and loaders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ComponentSeries", "AnomalySeries", "ForecastSeries"]
+
+
+@dataclass
+class ComponentSeries:
+    """A synthetic series with known ground-truth components.
+
+    Used by the decomposition-quality experiments (Table 2, Figures 5/6):
+    the generators return both the observed series and the exact trend,
+    seasonal and residual components it was built from.
+    """
+
+    name: str
+    values: np.ndarray
+    trend: np.ndarray
+    seasonal: np.ndarray
+    residual: np.ndarray
+    period: int
+
+    def __post_init__(self) -> None:
+        shapes = {self.values.shape, self.trend.shape, self.seasonal.shape, self.residual.shape}
+        if len(shapes) != 1:
+            raise ValueError("all components must have the same shape")
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+
+@dataclass
+class AnomalySeries:
+    """A labelled anomaly-detection series (TSB-UAD / KDD21 style).
+
+    ``train_length`` points are reserved for initialization/training; the
+    remaining points form the online test region scored by the detectors.
+    """
+
+    name: str
+    values: np.ndarray
+    labels: np.ndarray
+    train_length: int
+    period: int
+
+    def __post_init__(self) -> None:
+        if self.values.shape != self.labels.shape:
+            raise ValueError("values and labels must have the same shape")
+        if not 0 < self.train_length < self.values.size:
+            raise ValueError("train_length must be positive and smaller than the series")
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def train_values(self) -> np.ndarray:
+        return self.values[: self.train_length]
+
+    @property
+    def test_values(self) -> np.ndarray:
+        return self.values[self.train_length :]
+
+    @property
+    def test_labels(self) -> np.ndarray:
+        return self.labels[self.train_length :]
+
+    @property
+    def anomaly_fraction(self) -> float:
+        return float(self.labels.mean())
+
+
+@dataclass
+class ForecastSeries:
+    """A forecasting series with a chronological train/validation/test split."""
+
+    name: str
+    values: np.ndarray
+    period: int
+    horizons: tuple[int, ...]
+    train_fraction: float = 0.7
+    validation_fraction: float = 0.1
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.train_fraction < 1:
+            raise ValueError("train_fraction must lie in (0, 1)")
+        if not 0 <= self.validation_fraction < 1 - self.train_fraction:
+            raise ValueError("validation_fraction leaves no room for a test split")
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def train_end(self) -> int:
+        return int(round(self.values.size * self.train_fraction))
+
+    @property
+    def validation_end(self) -> int:
+        return int(round(self.values.size * (self.train_fraction + self.validation_fraction)))
+
+    @property
+    def train_values(self) -> np.ndarray:
+        return self.values[: self.train_end]
+
+    @property
+    def validation_values(self) -> np.ndarray:
+        return self.values[self.train_end : self.validation_end]
+
+    @property
+    def test_values(self) -> np.ndarray:
+        return self.values[self.validation_end :]

@@ -1,0 +1,61 @@
+"""Seasonal-trend decomposition baselines and shared interfaces.
+
+Batch methods
+-------------
+:class:`STL`
+    Classic LOESS-based decomposition (Cleveland et al. 1990).
+:class:`RobustSTL`
+    Robust decomposition with l1 trend extraction and non-local seasonal
+    filtering (Wen et al. 2018).
+:func:`l1_trend_filter`
+    Stand-alone piecewise-linear trend estimation.
+
+Online methods
+--------------
+:class:`OnlineSTL`
+    Tricube trend + exponential seasonal smoothing, O(T) per point
+    (Mishra et al. 2022).
+:class:`WindowSTL` / :class:`WindowRobustSTL` / :class:`OnlineRobustSTL`
+    Sliding-window adapters around the batch methods.
+
+The paper's own methods (:class:`repro.core.JointSTL` and
+:class:`repro.core.OneShotSTL`) live in :mod:`repro.core` and implement the
+same interfaces.
+"""
+
+from repro.decomposition.base import (
+    BatchDecomposer,
+    DecompositionPoint,
+    DecompositionResult,
+    OnlineDecomposer,
+)
+from repro.decomposition.l1_trend import l1_trend_filter
+from repro.decomposition.loess import loess_smooth, moving_average, tricube_weights
+from repro.decomposition.online_stl import OnlineSTL
+from repro.decomposition.robust_stl import RobustSTL, bilateral_filter
+from repro.decomposition.stl import STL
+from repro.decomposition.windowed import (
+    OnlineRobustSTL,
+    WindowRobustSTL,
+    WindowSTL,
+    WindowedDecomposer,
+)
+
+__all__ = [
+    "BatchDecomposer",
+    "DecompositionPoint",
+    "DecompositionResult",
+    "OnlineDecomposer",
+    "STL",
+    "RobustSTL",
+    "OnlineSTL",
+    "OnlineRobustSTL",
+    "WindowSTL",
+    "WindowRobustSTL",
+    "WindowedDecomposer",
+    "bilateral_filter",
+    "l1_trend_filter",
+    "loess_smooth",
+    "moving_average",
+    "tricube_weights",
+]

@@ -1,0 +1,126 @@
+"""OnlineSTL (Mishra, Sriharsha, Zhong -- VLDB 2022).
+
+OnlineSTL was the first online seasonal-trend decomposition algorithm and
+is the main speed baseline of the paper.  It alternates two lightweight
+filters per arriving point:
+
+* a **tricube-weighted trend filter** over a sliding window of
+  deseasonalized values (most weight on the most recent points), and
+* **per-phase exponential smoothing** of the detrended value to update the
+  seasonal component: ``s <- alpha * (y - trend) + (1 - alpha) * s_prev``.
+
+Its per-point cost is ``O(T)`` because the trend window scales with the
+period, which is exactly the scaling the paper's Figure 7 contrasts with
+OneShotSTL's O(1) update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.decomposition.base import (
+    DecompositionPoint,
+    DecompositionResult,
+    OnlineDecomposer,
+)
+from repro.decomposition.loess import tricube_weights
+from repro.decomposition.stl import STL
+from repro.utils import as_float_array, check_period, check_positive, check_probability
+
+__all__ = ["OnlineSTL"]
+
+
+class OnlineSTL(OnlineDecomposer):
+    """Online decomposition with tricube trend and exponential seasonal filters.
+
+    Parameters
+    ----------
+    period:
+        Seasonal period length ``T``.
+    smoothing:
+        Exponential smoothing factor ``alpha`` of the seasonal filter
+        (the paper's experiments use 0.7).
+    trend_window:
+        Length of the sliding trend window; defaults to ``period + 1`` so the
+        trend filter always spans one full season.
+    initializer:
+        Batch decomposer used on the initialization prefix (periodic STL by
+        default).
+    """
+
+    def __init__(
+        self,
+        period: int,
+        smoothing: float = 0.7,
+        trend_window: int | None = None,
+        initializer=None,
+    ):
+        self.period = check_period(period)
+        self.smoothing = check_probability(smoothing, "smoothing")
+        if self.smoothing == 0.0:
+            raise ValueError("smoothing must be strictly positive")
+        if trend_window is None:
+            trend_window = self.period + 1
+        self.trend_window = int(check_positive(trend_window, "trend_window"))
+        self._initializer = initializer
+        self._initialized = False
+
+    # ------------------------------------------------------------------ API
+
+    def initialize(self, values) -> DecompositionResult:
+        values = as_float_array(values, "values", min_length=2 * self.period)
+        initializer = self._initializer or STL(self.period, seasonal_window="periodic")
+        result = initializer.decompose(values)
+
+        self._seasonal_buffer = np.zeros(self.period)
+        for index in range(values.size):
+            self._seasonal_buffer[index % self.period] = result.seasonal[index]
+        deseasonalized = values - result.seasonal
+        window = min(self.trend_window, values.size)
+        self._trend_history = list(deseasonalized[-window:])
+        offsets = np.arange(self.trend_window, dtype=float)
+        self._trend_weights = tricube_weights(
+            (self.trend_window - 1 - offsets) / self.trend_window
+        )
+        self._global_index = values.size
+        self._initialized = True
+        return result
+
+    def update(self, value: float) -> DecompositionPoint:
+        if not self._initialized:
+            raise RuntimeError("initialize() must be called before update()")
+        value = float(value)
+        phase = self._global_index % self.period
+
+        deseasonalized = value - self._seasonal_buffer[phase]
+        self._trend_history.append(deseasonalized)
+        if len(self._trend_history) > self.trend_window:
+            self._trend_history.pop(0)
+        history = np.asarray(self._trend_history)
+        weights = self._trend_weights[-history.size :]
+        trend = float(np.dot(weights, history) / weights.sum())
+
+        detrended = value - trend
+        seasonal = (
+            self.smoothing * detrended
+            + (1.0 - self.smoothing) * self._seasonal_buffer[phase]
+        )
+        self._seasonal_buffer[phase] = seasonal
+        residual = value - trend - seasonal
+        self._global_index += 1
+        self._last_trend = trend
+        return DecompositionPoint(
+            value=value, trend=trend, seasonal=float(seasonal), residual=float(residual)
+        )
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        """Forecast by periodic continuation (same rule as OneShotSTL)."""
+        if not self._initialized:
+            raise RuntimeError("initialize() must be called before forecast()")
+        horizon = int(check_positive(horizon, "horizon"))
+        predictions = np.empty(horizon)
+        last_trend = getattr(self, "_last_trend", float(np.mean(self._trend_history)))
+        for step in range(horizon):
+            phase = (self._global_index + step) % self.period
+            predictions[step] = last_trend + self._seasonal_buffer[phase]
+        return predictions

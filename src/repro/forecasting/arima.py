@@ -1,0 +1,165 @@
+"""ARIMA-style forecasting (the paper's AutoArima baseline).
+
+A from-scratch AR(I)MA implementation sufficient for the univariate
+point-forecast comparison of Table 5:
+
+* the differencing order ``d`` and the autoregressive order ``p`` are chosen
+  by a small grid search that minimizes AIC on the training split
+  (mirroring statsforecast's AutoARIMA in spirit);
+* AR coefficients are estimated by conditional least squares;
+* an optional seasonal-naive term handles strong seasonality, selected
+  automatically when it lowers the in-sample error.
+
+The moving-average component is omitted (documented simplification): for
+the long-horizon point forecasts evaluated in the paper the AR + seasonal
+structure dominates, and dropping MA keeps estimation a single linear
+solve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecasting.base import Forecaster
+from repro.utils import check_positive_int
+
+__all__ = ["ARIMAForecaster", "AutoARIMAForecaster"]
+
+
+def _difference(values: np.ndarray, order: int) -> np.ndarray:
+    for _ in range(order):
+        values = np.diff(values)
+    return values
+
+
+def _fit_ar(values: np.ndarray, order: int) -> tuple[np.ndarray, float, float]:
+    """Least-squares AR(p) fit; returns (coefficients, intercept, sigma2)."""
+    if order == 0:
+        residuals = values - values.mean()
+        return np.zeros(0), float(values.mean()), float(np.var(residuals) + 1e-12)
+    if values.size <= order + 1:
+        raise ValueError("not enough data for the requested AR order")
+    design = np.column_stack(
+        [values[order - lag - 1 : values.size - lag - 1] for lag in range(order)]
+    )
+    design = np.column_stack([np.ones(design.shape[0]), design])
+    target = values[order:]
+    solution, *_ = np.linalg.lstsq(design, target, rcond=None)
+    predictions = design @ solution
+    sigma2 = float(np.mean((target - predictions) ** 2) + 1e-12)
+    return solution[1:], float(solution[0]), sigma2
+
+
+class ARIMAForecaster(Forecaster):
+    """AR(p) model on the ``d``-times differenced series."""
+
+    name = "ARIMA"
+
+    def __init__(self, order: int = 3, difference_order: int = 1):
+        self.order = check_positive_int(order, "order", minimum=0)
+        self.difference_order = check_positive_int(
+            difference_order, "difference_order", minimum=0
+        )
+        self._coefficients = np.zeros(0)
+        self._intercept = 0.0
+
+    def fit(self, train_values) -> "ARIMAForecaster":
+        train = self._validate_fit(train_values, min_length=self.order + self.difference_order + 3)
+        differenced = _difference(train, self.difference_order)
+        self._coefficients, self._intercept, self._sigma2 = _fit_ar(differenced, self.order)
+        return self
+
+    def forecast(self, history, horizon: int) -> np.ndarray:
+        history, horizon = self._validate_forecast(history, horizon)
+        differenced = _difference(history, self.difference_order)
+        order = self._coefficients.size
+        buffer = list(differenced[-order:]) if order else []
+        predicted_differences = []
+        for _ in range(horizon):
+            if order:
+                recent = np.asarray(buffer[-order:])[::-1]
+                value = self._intercept + float(np.dot(self._coefficients, recent))
+            else:
+                value = self._intercept
+            predicted_differences.append(value)
+            buffer.append(value)
+        predictions = np.asarray(predicted_differences)
+        # Undo the differencing by cumulative integration from the last
+        # observed values.
+        for level in range(self.difference_order, 0, -1):
+            anchor = _difference(history, level - 1)[-1]
+            predictions = anchor + np.cumsum(predictions)
+        return predictions
+
+    @property
+    def aic(self) -> float:
+        """Akaike information criterion of the fitted AR model."""
+        parameters = self.order + 1
+        sigma2 = getattr(self, "_sigma2", None)
+        if sigma2 is None:
+            raise RuntimeError("fit() must be called before reading aic")
+        return float(2 * parameters + np.log(sigma2))
+
+
+class AutoARIMAForecaster(Forecaster):
+    """Grid-searched ARIMA with an optional seasonal-naive component."""
+
+    name = "AutoArima"
+
+    def __init__(
+        self,
+        period: int | None = None,
+        max_order: int = 5,
+        max_difference: int = 2,
+    ):
+        self.period = period
+        self.max_order = check_positive_int(max_order, "max_order", minimum=0)
+        self.max_difference = check_positive_int(max_difference, "max_difference", minimum=0)
+        self._model: ARIMAForecaster | None = None
+        self._use_seasonal = False
+
+    def fit(self, train_values) -> "AutoARIMAForecaster":
+        train = self._validate_fit(train_values, min_length=self.max_order + self.max_difference + 8)
+        best_aic = np.inf
+        best_model = None
+        for difference_order in range(self.max_difference + 1):
+            for order in range(self.max_order + 1):
+                try:
+                    candidate = ARIMAForecaster(order, difference_order).fit(train)
+                except (ValueError, np.linalg.LinAlgError):
+                    continue
+                penalty = candidate.aic + 0.05 * difference_order
+                if penalty < best_aic:
+                    best_aic = penalty
+                    best_model = candidate
+        if best_model is None:
+            best_model = ARIMAForecaster(0, 0).fit(train)
+        self._model = best_model
+
+        self._use_seasonal = False
+        if self.period and train.size >= 3 * self.period:
+            holdout = min(2 * self.period, train.size // 4)
+            fit_part, validation = train[:-holdout], train[-holdout:]
+            arima_error = np.mean(
+                np.abs(
+                    ARIMAForecaster(best_model.order, best_model.difference_order)
+                    .fit(fit_part)
+                    .forecast(fit_part, holdout)
+                    - validation
+                )
+            )
+            seasonal_prediction = np.tile(
+                fit_part[-self.period :], int(np.ceil(holdout / self.period))
+            )[:holdout]
+            seasonal_error = np.mean(np.abs(seasonal_prediction - validation))
+            self._use_seasonal = bool(seasonal_error < arima_error)
+        return self
+
+    def forecast(self, history, horizon: int) -> np.ndarray:
+        history, horizon = self._validate_forecast(history, horizon)
+        if self._model is None:
+            raise RuntimeError("fit() must be called before forecast()")
+        if self._use_seasonal and self.period and history.size >= self.period:
+            repetitions = int(np.ceil(horizon / self.period))
+            return np.tile(history[-self.period :], repetitions)[:horizon]
+        return self._model.forecast(history, horizon)

@@ -1,0 +1,51 @@
+"""Common interface of the forecasting methods.
+
+All forecasters expose::
+
+    forecaster.fit(train_values)
+    predictions = forecaster.forecast(history, horizon)
+
+``fit`` is called once with the training split; ``forecast`` is then called
+for every rolling origin of the test split with the full history observed
+up to that origin (models are free to look only at the most recent window,
+and online models may consume the history incrementally).  The rolling
+evaluation harness in :mod:`repro.forecasting.evaluation` relies only on
+this interface, which is what lets Table 5 iterate over classical,
+decomposition-based and learned forecasters uniformly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils import as_float_array, check_positive_int
+
+__all__ = ["Forecaster"]
+
+
+class Forecaster(ABC):
+    """A univariate point forecaster."""
+
+    #: human-readable name used in benchmark tables
+    name: str = "forecaster"
+
+    @abstractmethod
+    def fit(self, train_values) -> "Forecaster":
+        """Train / initialize the model on the training split."""
+
+    @abstractmethod
+    def forecast(self, history, horizon: int) -> np.ndarray:
+        """Predict the next ``horizon`` values following ``history``."""
+
+    def _validate_fit(self, train_values, min_length: int = 4) -> np.ndarray:
+        return as_float_array(train_values, "train_values", min_length=min_length)
+
+    def _validate_forecast(self, history, horizon: int) -> tuple[np.ndarray, int]:
+        history = as_float_array(history, "history", min_length=1)
+        horizon = check_positive_int(horizon, "horizon")
+        return history, horizon
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

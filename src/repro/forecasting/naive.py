@@ -1,0 +1,62 @@
+"""Naive forecasting baselines (sanity floor for Table 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forecasting.base import Forecaster
+from repro.utils import check_period
+
+__all__ = ["NaiveForecaster", "SeasonalNaiveForecaster", "DriftForecaster"]
+
+
+class NaiveForecaster(Forecaster):
+    """Repeat the last observed value."""
+
+    name = "Naive"
+
+    def fit(self, train_values) -> "NaiveForecaster":
+        self._validate_fit(train_values, min_length=1)
+        return self
+
+    def forecast(self, history, horizon: int) -> np.ndarray:
+        history, horizon = self._validate_forecast(history, horizon)
+        return np.full(horizon, history[-1])
+
+
+class SeasonalNaiveForecaster(Forecaster):
+    """Repeat the value observed one period earlier."""
+
+    name = "SeasonalNaive"
+
+    def __init__(self, period: int):
+        self.period = check_period(period)
+
+    def fit(self, train_values) -> "SeasonalNaiveForecaster":
+        self._validate_fit(train_values, min_length=self.period)
+        return self
+
+    def forecast(self, history, horizon: int) -> np.ndarray:
+        history, horizon = self._validate_forecast(history, horizon)
+        if history.size < self.period:
+            return np.full(horizon, history[-1])
+        last_period = history[-self.period :]
+        repetitions = int(np.ceil(horizon / self.period))
+        return np.tile(last_period, repetitions)[:horizon]
+
+
+class DriftForecaster(Forecaster):
+    """Extrapolate the average slope of the history (the classic drift method)."""
+
+    name = "Drift"
+
+    def fit(self, train_values) -> "DriftForecaster":
+        self._validate_fit(train_values, min_length=2)
+        return self
+
+    def forecast(self, history, horizon: int) -> np.ndarray:
+        history, horizon = self._validate_forecast(history, horizon)
+        if history.size < 2:
+            return np.full(horizon, history[-1])
+        slope = (history[-1] - history[0]) / (history.size - 1)
+        return history[-1] + slope * np.arange(1, horizon + 1)

@@ -1,0 +1,33 @@
+"""Evaluation metrics used throughout the paper's evaluation section.
+
+* forecasting errors (MAE/MSE/RMSE/sMAPE) -- Table 5, Figures 9-10,
+* ROC / precision-recall AUC -- standard TSAD metrics,
+* range-aware ROC AUC and VUS-ROC -- Table 3 (the paper's primary TSAD
+  metric, from Paparrizos et al. 2022),
+* the KDD CUP 2021 scoring rule -- Table 4.
+"""
+
+from repro.metrics.classification import (
+    average_precision,
+    precision_recall_curve,
+    roc_auc,
+    roc_curve,
+)
+from repro.metrics.forecasting import mae, mape, mse, rmse, smape
+from repro.metrics.kdd21 import kdd21_score
+from repro.metrics.vus import range_roc_auc, vus_roc
+
+__all__ = [
+    "average_precision",
+    "kdd21_score",
+    "mae",
+    "mape",
+    "mse",
+    "precision_recall_curve",
+    "range_roc_auc",
+    "rmse",
+    "roc_auc",
+    "roc_curve",
+    "smape",
+    "vus_roc",
+]

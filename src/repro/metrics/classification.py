@@ -1,0 +1,100 @@
+"""ROC and precision-recall metrics implemented from scratch.
+
+These are the building blocks of the range-aware metrics in
+:mod:`repro.metrics.vus`; they accept optional per-sample weights, which is
+how the "soft" range labels enter the computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["roc_curve", "roc_auc", "precision_recall_curve", "average_precision"]
+
+
+def _validate(labels, scores, weights=None):
+    labels = np.asarray(labels, dtype=float).ravel()
+    scores = np.asarray(scores, dtype=float).ravel()
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same length")
+    if labels.size == 0:
+        raise ValueError("labels must not be empty")
+    if weights is None:
+        weights = np.ones_like(labels)
+    else:
+        weights = np.asarray(weights, dtype=float).ravel()
+        if weights.shape != labels.shape:
+            raise ValueError("weights must have the same length as labels")
+    if not np.all(np.isfinite(scores)):
+        raise ValueError("scores must be finite")
+    return labels, scores, weights
+
+
+def roc_curve(labels, scores, weights=None):
+    """Return ``(false_positive_rate, true_positive_rate, thresholds)``.
+
+    ``labels`` may be soft (any value in ``[0, 1]``): a point contributes
+    ``label`` to the positive mass and ``1 - label`` to the negative mass,
+    which is exactly what the range-aware metrics need.
+    """
+    labels, scores, weights = _validate(labels, scores, weights)
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_scores = scores[order]
+    positive_mass = labels[order] * weights[order]
+    negative_mass = (1.0 - labels[order]) * weights[order]
+
+    cumulative_tp = np.cumsum(positive_mass)
+    cumulative_fp = np.cumsum(negative_mass)
+    # Collapse ties: keep only the last entry of every run of equal scores.
+    distinct = np.concatenate([np.diff(sorted_scores) != 0, [True]])
+    cumulative_tp = cumulative_tp[distinct]
+    cumulative_fp = cumulative_fp[distinct]
+    thresholds = sorted_scores[distinct]
+
+    total_positive = cumulative_tp[-1]
+    total_negative = cumulative_fp[-1]
+    if total_positive <= 0 or total_negative <= 0:
+        raise ValueError("both positive and negative mass must be present")
+    tpr = np.concatenate([[0.0], cumulative_tp / total_positive])
+    fpr = np.concatenate([[0.0], cumulative_fp / total_negative])
+    thresholds = np.concatenate([[np.inf], thresholds])
+    return fpr, tpr, thresholds
+
+
+def roc_auc(labels, scores, weights=None) -> float:
+    """Area under the ROC curve (supports soft labels)."""
+    fpr, tpr, _ = roc_curve(labels, scores, weights)
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz
+    return float(trapezoid(tpr, fpr))
+
+
+def precision_recall_curve(labels, scores, weights=None):
+    """Return ``(precision, recall, thresholds)`` for decreasing thresholds."""
+    labels, scores, weights = _validate(labels, scores, weights)
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_scores = scores[order]
+    positive_mass = labels[order] * weights[order]
+    negative_mass = (1.0 - labels[order]) * weights[order]
+
+    cumulative_tp = np.cumsum(positive_mass)
+    cumulative_fp = np.cumsum(negative_mass)
+    distinct = np.concatenate([np.diff(sorted_scores) != 0, [True]])
+    cumulative_tp = cumulative_tp[distinct]
+    cumulative_fp = cumulative_fp[distinct]
+    thresholds = sorted_scores[distinct]
+
+    total_positive = cumulative_tp[-1]
+    if total_positive <= 0:
+        raise ValueError("positive mass must be present")
+    predicted_positive = cumulative_tp + cumulative_fp
+    precision = np.where(predicted_positive > 0, cumulative_tp / predicted_positive, 1.0)
+    recall = cumulative_tp / total_positive
+    return precision, recall, thresholds
+
+
+def average_precision(labels, scores, weights=None) -> float:
+    """Average precision (area under the precision-recall curve)."""
+    precision, recall, _ = precision_recall_curve(labels, scores, weights)
+    recall = np.concatenate([[0.0], recall])
+    precision = np.concatenate([[1.0], precision])
+    return float(np.sum(np.diff(recall) * precision[1:]))

@@ -1,0 +1,50 @@
+"""Point-forecast error metrics (Table 5 uses MAE)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import as_float_array
+
+__all__ = ["mae", "mse", "rmse", "mape", "smape"]
+
+
+def _paired(actual, predicted) -> tuple[np.ndarray, np.ndarray]:
+    actual = as_float_array(actual, "actual")
+    predicted = as_float_array(predicted, "predicted")
+    if actual.shape != predicted.shape:
+        raise ValueError(
+            f"actual and predicted must have the same shape, got {actual.shape} and {predicted.shape}"
+        )
+    return actual, predicted
+
+
+def mae(actual, predicted) -> float:
+    """Mean absolute error."""
+    actual, predicted = _paired(actual, predicted)
+    return float(np.mean(np.abs(actual - predicted)))
+
+
+def mse(actual, predicted) -> float:
+    """Mean squared error."""
+    actual, predicted = _paired(actual, predicted)
+    return float(np.mean((actual - predicted) ** 2))
+
+
+def rmse(actual, predicted) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mse(actual, predicted)))
+
+
+def mape(actual, predicted, epsilon: float = 1e-8) -> float:
+    """Mean absolute percentage error (values close to zero are floored)."""
+    actual, predicted = _paired(actual, predicted)
+    denominator = np.maximum(np.abs(actual), epsilon)
+    return float(np.mean(np.abs(actual - predicted) / denominator))
+
+
+def smape(actual, predicted, epsilon: float = 1e-8) -> float:
+    """Symmetric mean absolute percentage error in ``[0, 2]``."""
+    actual, predicted = _paired(actual, predicted)
+    denominator = np.maximum((np.abs(actual) + np.abs(predicted)) / 2.0, epsilon)
+    return float(np.mean(np.abs(actual - predicted) / denominator))

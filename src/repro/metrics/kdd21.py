@@ -1,0 +1,56 @@
+"""Scoring rule of the KDD CUP 2021 anomaly-detection competition (Table 4).
+
+Every series in the KDD21 dataset contains exactly one labelled anomaly
+event.  A method submits the index it considers most anomalous within the
+test region and is scored 1 if that index falls within a tolerance
+neighbourhood of the labelled event, 0 otherwise.  The dataset-level score
+is the fraction of series answered correctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_positive_int
+
+__all__ = ["kdd21_score", "kdd21_single"]
+
+
+def kdd21_single(
+    scores,
+    anomaly_start: int,
+    anomaly_stop: int,
+    tolerance: int = 100,
+) -> bool:
+    """Return whether the top-scoring index hits the labelled anomaly event.
+
+    Parameters
+    ----------
+    scores:
+        Anomaly scores for the test region of one series.
+    anomaly_start, anomaly_stop:
+        Half-open index range of the labelled anomaly within the same region.
+    tolerance:
+        Neighbourhood allowed around the labelled event (the competition
+        used 100 points).
+    """
+    scores = np.asarray(scores, dtype=float).ravel()
+    if scores.size == 0:
+        raise ValueError("scores must not be empty")
+    if not 0 <= anomaly_start < anomaly_stop <= scores.size:
+        raise ValueError("anomaly range must lie within the scored region")
+    tolerance = check_positive_int(tolerance, "tolerance", minimum=0)
+    top_index = int(np.argmax(scores))
+    return bool(anomaly_start - tolerance <= top_index < anomaly_stop + tolerance)
+
+
+def kdd21_score(results) -> float:
+    """Fraction of series answered correctly.
+
+    ``results`` is an iterable of booleans as returned by
+    :func:`kdd21_single` (or of anything truthy/falsy).
+    """
+    results = list(results)
+    if not results:
+        raise ValueError("results must not be empty")
+    return float(np.mean([bool(result) for result in results]))

@@ -1,0 +1,224 @@
+"""A small feed-forward network with manual backpropagation.
+
+Only what the deep-baseline proxies need is implemented -- dense layers,
+ReLU/tanh/identity activations, mean-squared-error loss, Adam, mini-batch
+training with validation-based early stopping -- but each piece is written
+and tested as a standalone component.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_positive, check_positive_int
+
+__all__ = ["DenseLayer", "AdamOptimizer", "MLPRegressor"]
+
+_ACTIVATIONS = {
+    "identity": (lambda x: x, lambda x: np.ones_like(x)),
+    "relu": (lambda x: np.maximum(x, 0.0), lambda x: (x > 0).astype(float)),
+    "tanh": (np.tanh, lambda x: 1.0 - np.tanh(x) ** 2),
+}
+
+
+class DenseLayer:
+    """Fully connected layer with an element-wise activation."""
+
+    def __init__(self, input_size: int, output_size: int, activation: str = "relu", rng=None):
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        input_size = check_positive_int(input_size, "input_size")
+        output_size = check_positive_int(output_size, "output_size")
+        rng = rng or np.random.default_rng()
+        scale = np.sqrt(2.0 / input_size)
+        self.weights = rng.normal(0.0, scale, size=(input_size, output_size))
+        self.bias = np.zeros(output_size)
+        self.activation = activation
+        self._forward_fn, self._derivative_fn = _ACTIVATIONS[activation]
+        self._last_input: np.ndarray | None = None
+        self._last_preactivation: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._last_input = inputs
+        self._last_preactivation = inputs @ self.weights + self.bias
+        return self._forward_fn(self._last_preactivation)
+
+    def backward(self, gradient: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (input gradient, weight gradient, bias gradient)."""
+        if self._last_input is None:
+            raise RuntimeError("forward() must be called before backward()")
+        local = gradient * self._derivative_fn(self._last_preactivation)
+        weight_gradient = self._last_input.T @ local / self._last_input.shape[0]
+        bias_gradient = local.mean(axis=0)
+        input_gradient = local @ self.weights.T
+        return input_gradient, weight_gradient, bias_gradient
+
+
+class AdamOptimizer:
+    """Adam optimizer over a list of parameter arrays."""
+
+    def __init__(self, learning_rate: float = 1e-3, beta1: float = 0.9, beta2: float = 0.999, epsilon: float = 1e-8):
+        self.learning_rate = check_positive(learning_rate, "learning_rate")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._first_moments: list[np.ndarray] | None = None
+        self._second_moments: list[np.ndarray] | None = None
+        self._step = 0
+
+    def update(self, parameters: list[np.ndarray], gradients: list[np.ndarray]) -> None:
+        if self._first_moments is None:
+            self._first_moments = [np.zeros_like(p) for p in parameters]
+            self._second_moments = [np.zeros_like(p) for p in parameters]
+        self._step += 1
+        for index, (parameter, gradient) in enumerate(zip(parameters, gradients)):
+            first = self._first_moments[index]
+            second = self._second_moments[index]
+            first[:] = self.beta1 * first + (1 - self.beta1) * gradient
+            second[:] = self.beta2 * second + (1 - self.beta2) * gradient ** 2
+            corrected_first = first / (1 - self.beta1 ** self._step)
+            corrected_second = second / (1 - self.beta2 ** self._step)
+            parameter -= self.learning_rate * corrected_first / (
+                np.sqrt(corrected_second) + self.epsilon
+            )
+
+
+class MLPRegressor:
+    """Multi-layer perceptron trained with MSE loss and Adam.
+
+    Parameters
+    ----------
+    input_size / output_size:
+        Input and output dimensionality.
+    hidden_sizes:
+        Sizes of the hidden layers (may be empty for a linear model).
+    activation:
+        Hidden-layer activation.
+    learning_rate / epochs / batch_size:
+        Training hyper-parameters.
+    validation_fraction / patience:
+        Early stopping: training stops when the validation loss has not
+        improved for ``patience`` consecutive epochs.
+    seed:
+        Seed of the weight-initialization and shuffling RNG.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        output_size: int,
+        hidden_sizes: tuple[int, ...] = (64, 64),
+        activation: str = "relu",
+        learning_rate: float = 1e-3,
+        epochs: int = 100,
+        batch_size: int = 32,
+        validation_fraction: float = 0.2,
+        patience: int = 10,
+        seed: int = 0,
+    ):
+        self.input_size = check_positive_int(input_size, "input_size")
+        self.output_size = check_positive_int(output_size, "output_size")
+        self.hidden_sizes = tuple(int(size) for size in hidden_sizes)
+        self.activation = activation
+        self.learning_rate = check_positive(learning_rate, "learning_rate")
+        self.epochs = check_positive_int(epochs, "epochs")
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        if not 0.0 <= validation_fraction < 1.0:
+            raise ValueError("validation_fraction must lie in [0, 1)")
+        self.validation_fraction = validation_fraction
+        self.patience = check_positive_int(patience, "patience")
+        self.seed = int(seed)
+
+        self._rng = np.random.default_rng(self.seed)
+        sizes = (self.input_size, *self.hidden_sizes, self.output_size)
+        self.layers = []
+        for index in range(len(sizes) - 1):
+            is_output = index == len(sizes) - 2
+            self.layers.append(
+                DenseLayer(
+                    sizes[index],
+                    sizes[index + 1],
+                    activation="identity" if is_output else activation,
+                    rng=self._rng,
+                )
+            )
+        self.training_history: list[float] = []
+
+    # ------------------------------------------------------------------ API
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Forward pass; accepts a single sample or a batch."""
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        outputs = inputs
+        for layer in self.layers:
+            outputs = layer.forward(outputs)
+        return outputs
+
+    def fit(self, inputs: np.ndarray, targets: np.ndarray) -> "MLPRegressor":
+        """Train on ``(inputs, targets)`` with mini-batch Adam and early stopping."""
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        targets = np.atleast_2d(np.asarray(targets, dtype=float))
+        if inputs.shape[0] != targets.shape[0]:
+            raise ValueError("inputs and targets must have the same number of rows")
+        if inputs.shape[1] != self.input_size or targets.shape[1] != self.output_size:
+            raise ValueError("inputs/targets dimensionality does not match the model")
+
+        sample_count = inputs.shape[0]
+        validation_count = int(sample_count * self.validation_fraction)
+        permutation = self._rng.permutation(sample_count)
+        validation_idx = permutation[:validation_count]
+        training_idx = permutation[validation_count:]
+        if training_idx.size == 0:
+            training_idx = permutation
+            validation_idx = permutation[:0]
+
+        optimizer = AdamOptimizer(self.learning_rate)
+        best_validation = np.inf
+        best_weights = None
+        epochs_without_improvement = 0
+        self.training_history = []
+
+        for _ in range(self.epochs):
+            order = self._rng.permutation(training_idx)
+            for start in range(0, order.size, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                self._train_batch(inputs[batch], targets[batch], optimizer)
+
+            if validation_idx.size:
+                validation_loss = float(
+                    np.mean((self.predict(inputs[validation_idx]) - targets[validation_idx]) ** 2)
+                )
+            else:
+                validation_loss = float(
+                    np.mean((self.predict(inputs[training_idx]) - targets[training_idx]) ** 2)
+                )
+            self.training_history.append(validation_loss)
+            if validation_loss < best_validation - 1e-12:
+                best_validation = validation_loss
+                best_weights = [
+                    (layer.weights.copy(), layer.bias.copy()) for layer in self.layers
+                ]
+                epochs_without_improvement = 0
+            else:
+                epochs_without_improvement += 1
+                if epochs_without_improvement >= self.patience:
+                    break
+
+        if best_weights is not None:
+            for layer, (weights, bias) in zip(self.layers, best_weights):
+                layer.weights = weights
+                layer.bias = bias
+        return self
+
+    # ------------------------------------------------------------- internals
+
+    def _train_batch(self, inputs, targets, optimizer) -> None:
+        predictions = self.predict(inputs)
+        gradient = 2.0 * (predictions - targets) / targets.shape[1]
+        parameters: list[np.ndarray] = []
+        gradients: list[np.ndarray] = []
+        for layer in reversed(self.layers):
+            gradient, weight_gradient, bias_gradient = layer.backward(gradient)
+            parameters.extend([layer.weights, layer.bias])
+            gradients.extend([weight_gradient, bias_gradient])
+        optimizer.update(parameters, gradients)

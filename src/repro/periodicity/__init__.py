@@ -1,0 +1,22 @@
+"""Seasonal period detection.
+
+All non-deep methods in the paper take the period length ``T`` as input; on
+real data it is estimated from the initialization window with an
+autocorrelation-based detector (the paper uses TSB-UAD's ``find_length``).
+This subpackage provides that detector plus a periodogram-based
+alternative and a combined estimator.
+"""
+
+from repro.periodicity.detection import (
+    autocorrelation,
+    estimate_period,
+    find_length,
+    periodogram_period,
+)
+
+__all__ = [
+    "autocorrelation",
+    "estimate_period",
+    "find_length",
+    "periodogram_period",
+]

@@ -1,0 +1,30 @@
+"""Linear-algebra substrate for the OneShotSTL reproduction.
+
+The paper's online algorithm is, at its core, an incremental symmetric
+Doolittle (LDL^T) factorization of a growing banded linear system.  This
+subpackage provides:
+
+* :mod:`repro.solvers.ldlt` -- batch symmetric Doolittle factorization for
+  dense and banded matrices (paper Algorithm 3), used by the batch JointSTL
+  model, the Algorithm-2 reference implementation, and the warm-up phase of
+  the incremental solver.
+* :mod:`repro.solvers.incremental_ldlt` -- the O(1)-per-append incremental
+  banded LDL^T solver (a generalization of the paper's OnlineDoolittle,
+  Algorithm 4).
+"""
+
+from repro.solvers.ldlt import (
+    BandedLDLT,
+    ldlt_factor,
+    ldlt_solve,
+    solve_symmetric,
+)
+from repro.solvers.incremental_ldlt import IncrementalBandedLDLT
+
+__all__ = [
+    "BandedLDLT",
+    "IncrementalBandedLDLT",
+    "ldlt_factor",
+    "ldlt_solve",
+    "solve_symmetric",
+]

@@ -1,0 +1,13 @@
+"""Streaming execution utilities: pipelines, buffers and latency measurement."""
+
+from repro.streaming.buffer import RingBuffer
+from repro.streaming.latency import LatencyReport, measure_update_latency
+from repro.streaming.pipeline import StreamingPipeline, StreamRecord
+
+__all__ = [
+    "LatencyReport",
+    "RingBuffer",
+    "StreamRecord",
+    "StreamingPipeline",
+    "measure_update_latency",
+]

@@ -1,0 +1,55 @@
+"""Fixed-capacity ring buffer used by the streaming components."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils import check_positive_int
+
+__all__ = ["RingBuffer"]
+
+
+class RingBuffer:
+    """A fixed-capacity float ring buffer backed by a numpy array.
+
+    Appending is O(1); :meth:`to_array` materializes the contents in
+    insertion order (oldest first).
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = check_positive_int(capacity, "capacity")
+        self._storage = np.zeros(self.capacity)
+        self._next = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_full(self) -> bool:
+        return self._count == self.capacity
+
+    def append(self, value: float) -> None:
+        self._storage[self._next] = float(value)
+        self._next = (self._next + 1) % self.capacity
+        self._count = min(self._count + 1, self.capacity)
+
+    def extend(self, values) -> None:
+        for value in values:
+            self.append(value)
+
+    def latest(self) -> float:
+        if self._count == 0:
+            raise ValueError("the buffer is empty")
+        return float(self._storage[(self._next - 1) % self.capacity])
+
+    def to_array(self) -> np.ndarray:
+        if self._count < self.capacity:
+            return self._storage[: self._count].copy()
+        return np.concatenate(
+            [self._storage[self._next :], self._storage[: self._next]]
+        )
+
+    def clear(self) -> None:
+        self._next = 0
+        self._count = 0

@@ -1,0 +1,84 @@
+"""Per-point latency measurement of online decomposers (Figure 7 harness)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils import as_float_array, check_positive_int
+
+__all__ = ["LatencyReport", "measure_update_latency"]
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Latency statistics of an online method over a stream."""
+
+    method: str
+    points: int
+    mean_seconds: float
+    median_seconds: float
+    p99_seconds: float
+    total_seconds: float
+
+    @property
+    def mean_microseconds(self) -> float:
+        return self.mean_seconds * 1e6
+
+    def as_row(self) -> dict:
+        """Dictionary row for tabular reporting."""
+        return {
+            "method": self.method,
+            "points": self.points,
+            "mean_us": self.mean_seconds * 1e6,
+            "median_us": self.median_seconds * 1e6,
+            "p99_us": self.p99_seconds * 1e6,
+            "total_s": self.total_seconds,
+        }
+
+
+def measure_update_latency(
+    decomposer,
+    initialization,
+    stream,
+    max_points: int | None = None,
+    name: str | None = None,
+) -> LatencyReport:
+    """Measure the per-point update latency of an online decomposer.
+
+    Parameters
+    ----------
+    decomposer:
+        An object implementing the :class:`~repro.decomposition.base.OnlineDecomposer`
+        interface.
+    initialization:
+        Prefix used for the (untimed) initialization phase.
+    stream:
+        Online portion whose updates are timed individually.
+    max_points:
+        Optional cap on the number of timed points.
+    name:
+        Label used in the report (defaults to the class name).
+    """
+    initialization = as_float_array(initialization, "initialization", min_length=2)
+    stream = as_float_array(stream, "stream", min_length=1)
+    if max_points is not None:
+        max_points = check_positive_int(max_points, "max_points")
+        stream = stream[:max_points]
+
+    decomposer.initialize(initialization)
+    durations = np.empty(stream.size)
+    for index, value in enumerate(stream):
+        start = time.perf_counter()
+        decomposer.update(float(value))
+        durations[index] = time.perf_counter() - start
+    return LatencyReport(
+        method=name or type(decomposer).__name__,
+        points=int(stream.size),
+        mean_seconds=float(durations.mean()),
+        median_seconds=float(np.median(durations)),
+        p99_seconds=float(np.percentile(durations, 99)),
+        total_seconds=float(durations.sum()),
+    )

@@ -1,0 +1,93 @@
+"""End-to-end streaming pipeline: decomposition -> scoring -> forecasting.
+
+:class:`StreamingPipeline` wires an online decomposer to the downstream
+consumers described in the paper's Section 4: a residual-based anomaly
+scorer and the periodic-continuation forecaster.  It is the object a
+downstream user would embed in a monitoring service, and it is what the
+example applications use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.anomaly.nsigma import NSigma
+from repro.decomposition.base import OnlineDecomposer
+from repro.utils import as_float_array, check_positive_int
+
+__all__ = ["StreamRecord", "StreamingPipeline"]
+
+
+@dataclass(frozen=True)
+class StreamRecord:
+    """Everything the pipeline derives from one observation."""
+
+    index: int
+    value: float
+    trend: float
+    seasonal: float
+    residual: float
+    anomaly_score: float
+    is_anomaly: bool
+
+
+class StreamingPipeline:
+    """Online decomposition with anomaly scoring and forecasting.
+
+    Parameters
+    ----------
+    decomposer:
+        Any online decomposer (OneShotSTL, OnlineSTL, a windowed batch
+        method, ...).
+    anomaly_threshold:
+        NSigma threshold applied to the decomposed residual.
+    """
+
+    def __init__(self, decomposer: OnlineDecomposer, anomaly_threshold: float = 5.0):
+        self.decomposer = decomposer
+        self.scorer = NSigma(anomaly_threshold)
+        self._index = 0
+        self._initialized = False
+
+    def initialize(self, values) -> None:
+        """Run the decomposer's initialization phase and warm up the scorer."""
+        values = as_float_array(values, "values", min_length=2)
+        result = self.decomposer.initialize(values)
+        for residual_value in result.residual:
+            self.scorer.update(float(residual_value))
+        self._index = values.size
+        self._initialized = True
+
+    def process(self, value: float) -> StreamRecord:
+        """Consume one observation and return the derived record."""
+        if not self._initialized:
+            raise RuntimeError("initialize() must be called before process()")
+        point = self.decomposer.update(float(value))
+        verdict = self.scorer.update(point.residual)
+        record = StreamRecord(
+            index=self._index,
+            value=point.value,
+            trend=point.trend,
+            seasonal=point.seasonal,
+            residual=point.residual,
+            anomaly_score=verdict.score,
+            is_anomaly=verdict.is_anomaly,
+        )
+        self._index += 1
+        return record
+
+    def process_many(self, values) -> list[StreamRecord]:
+        """Convenience wrapper around :meth:`process` for a chunk of values."""
+        return [self.process(float(value)) for value in np.asarray(values, dtype=float)]
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        """Forecast future values if the underlying decomposer supports it."""
+        horizon = check_positive_int(horizon, "horizon")
+        forecaster = getattr(self.decomposer, "forecast", None)
+        if forecaster is None:
+            raise AttributeError(
+                f"{type(self.decomposer).__name__} does not implement forecasting"
+            )
+        return forecaster(horizon)

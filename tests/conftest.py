@@ -1,0 +1,45 @@
+"""Shared fixtures for the OneShotSTL reproduction test suite."""
+
+import numpy as np
+import pytest
+
+
+def make_seasonal_series(
+    length: int,
+    period: int,
+    trend_slope: float = 0.01,
+    noise: float = 0.05,
+    seed: int = 0,
+    trend_break: int | None = None,
+    trend_break_size: float = 2.0,
+) -> dict:
+    """Build a synthetic additive series with known components."""
+    rng = np.random.default_rng(seed)
+    time = np.arange(length)
+    trend = trend_slope * time
+    if trend_break is not None:
+        trend = trend + trend_break_size * (time >= trend_break)
+    phase = 2 * np.pi * (time % period) / period
+    seasonal = np.sin(phase) + 0.3 * np.sin(2 * phase)
+    residual = rng.normal(0.0, noise, size=length)
+    return {
+        "values": trend + seasonal + residual,
+        "trend": trend,
+        "seasonal": seasonal,
+        "residual": residual,
+        "period": period,
+    }
+
+
+@pytest.fixture
+def small_seasonal():
+    """A short series with period 24 for fast unit tests."""
+    return make_seasonal_series(length=24 * 8, period=24, seed=1)
+
+
+@pytest.fixture
+def medium_seasonal():
+    """A medium series with period 50 and a trend break."""
+    return make_seasonal_series(
+        length=50 * 10, period=50, seed=2, trend_break=300, trend_break_size=3.0
+    )

@@ -1,0 +1,290 @@
+"""Tests of the core contribution: JointSTL, the Algorithm-2 reference and OneShotSTL."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import JointSTL, ModifiedJointSTL, OneShotSTL, point_contributions, select_lambda
+from repro.decomposition import STL
+
+from tests.conftest import make_seasonal_series
+
+
+class TestPointContributions:
+    def test_first_point_has_no_difference_terms(self):
+        updates, rhs = point_contributions(0, 2.0, 0.5, 1.0, 1.0, 1.0, 1.0)
+        assert rhs == [2.0, 2.5]
+        touched = {(row, column) for row, column, _ in updates}
+        assert touched == {(0, 0), (1, 1), (1, 0)}
+
+    def test_third_point_touches_trailing_band_only(self):
+        updates, _ = point_contributions(2, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0)
+        for row, column, _ in updates:
+            assert row >= column
+            assert row - column <= 4
+            assert column >= 0
+
+    def test_weights_scale_difference_terms(self):
+        light, _ = point_contributions(2, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0)
+        heavy, _ = point_contributions(2, 1.0, 0.0, 1.0, 1.0, 3.0, 5.0)
+        light_total = sum(abs(v) for _, _, v in light)
+        heavy_total = sum(abs(v) for _, _, v in heavy)
+        assert heavy_total > light_total
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            point_contributions(-1, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0)
+
+
+class TestJointSTL:
+    def test_reconstruction_is_exact(self, small_seasonal):
+        model = JointSTL(small_seasonal["period"], iterations=4)
+        result = model.decompose(small_seasonal["values"])
+        np.testing.assert_allclose(
+            result.reconstruct(), small_seasonal["values"], atol=1e-8
+        )
+
+    def test_recovers_smooth_trend(self, small_seasonal):
+        model = JointSTL(small_seasonal["period"], lambda1=1.0, lambda2=1.0, iterations=6)
+        result = model.decompose(small_seasonal["values"])
+        error = np.mean(np.abs(result.trend - small_seasonal["trend"]))
+        baseline = np.mean(np.abs(small_seasonal["trend"] - small_seasonal["trend"].mean()))
+        assert error < 0.25 * baseline
+
+    def test_seasonal_component_is_periodic(self, small_seasonal):
+        period = small_seasonal["period"]
+        model = JointSTL(period, iterations=4)
+        result = model.decompose(small_seasonal["values"])
+        seasonal = result.seasonal
+        drift = np.mean(np.abs(seasonal[period:] - seasonal[:-period]))
+        assert drift < 0.2
+
+    def test_handles_abrupt_trend_change(self):
+        data = make_seasonal_series(400, 40, trend_break=200, trend_break_size=4.0, seed=5)
+        model = JointSTL(40, lambda1=10.0, lambda2=10.0, iterations=8)
+        result = model.decompose(data["values"])
+        jump = result.trend[220:240].mean() - result.trend[160:180].mean()
+        assert jump > 2.0
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            JointSTL(50).decompose(np.zeros(30) + np.arange(30))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            JointSTL(10, lambda1=-1.0)
+        with pytest.raises(ValueError):
+            JointSTL(1)
+        with pytest.raises(ValueError):
+            JointSTL(10, iterations=0)
+
+
+class TestOneShotSTLMatchesReference:
+    """OneShotSTL must equal the exact Algorithm-2 reference to machine precision."""
+
+    @pytest.mark.parametrize("iterations", [1, 3, 8])
+    def test_exact_match_with_reference(self, iterations):
+        data = make_seasonal_series(24 * 7, 24, seed=7)
+        values = data["values"]
+        init_length = 24 * 4
+        online = values[init_length:]
+
+        reference = ModifiedJointSTL(24, lambda1=2.0, lambda2=3.0, iterations=iterations)
+        fast = OneShotSTL(
+            24, lambda1=2.0, lambda2=3.0, iterations=iterations, shift_window=0
+        )
+        reference.initialize(values[:init_length])
+        fast.initialize(values[:init_length])
+
+        for value in online:
+            expected = reference.update(float(value))
+            actual = fast.update(float(value))
+            assert actual.trend == pytest.approx(expected.trend, abs=1e-7)
+            assert actual.seasonal == pytest.approx(expected.seasonal, abs=1e-7)
+            assert actual.residual == pytest.approx(expected.residual, abs=1e-7)
+
+    def test_match_with_trend_break(self):
+        data = make_seasonal_series(
+            30 * 6, 30, seed=11, trend_break=30 * 5, trend_break_size=5.0
+        )
+        values = data["values"]
+        init_length = 30 * 4
+        reference = ModifiedJointSTL(30, iterations=4)
+        fast = OneShotSTL(30, iterations=4, shift_window=0)
+        reference.initialize(values[:init_length])
+        fast.initialize(values[:init_length])
+        for value in values[init_length:]:
+            expected = reference.update(float(value))
+            actual = fast.update(float(value))
+            assert actual.trend == pytest.approx(expected.trend, abs=1e-6)
+            assert actual.seasonal == pytest.approx(expected.seasonal, abs=1e-6)
+
+
+class TestOneShotSTL:
+    def test_requires_initialization(self):
+        model = OneShotSTL(24)
+        with pytest.raises(RuntimeError):
+            model.update(1.0)
+        with pytest.raises(RuntimeError):
+            model.forecast(5)
+
+    def test_reconstruction_identity_per_point(self, small_seasonal):
+        period = small_seasonal["period"]
+        values = small_seasonal["values"]
+        model = OneShotSTL(period, shift_window=0)
+        model.initialize(values[: 4 * period])
+        for value in values[4 * period : 6 * period]:
+            point = model.update(float(value))
+            assert point.reconstruct() == pytest.approx(point.value, abs=1e-9)
+
+    def test_tracks_trend_level(self, small_seasonal):
+        period = small_seasonal["period"]
+        values = small_seasonal["values"]
+        model = OneShotSTL(period, lambda1=10.0, lambda2=10.0, shift_window=0)
+        model.initialize(values[: 4 * period])
+        trends = [model.update(float(v)).trend for v in values[4 * period :]]
+        expected = small_seasonal["trend"][4 * period :]
+        assert np.mean(np.abs(np.asarray(trends) - expected)) < 0.3
+
+    def test_decompose_convenience_covers_full_series(self, small_seasonal):
+        period = small_seasonal["period"]
+        model = OneShotSTL(period, shift_window=0)
+        result = model.decompose(small_seasonal["values"], 4 * period)
+        assert len(result) == small_seasonal["values"].size
+        np.testing.assert_allclose(
+            result.reconstruct(), small_seasonal["values"], atol=1e-8
+        )
+
+    def test_forecast_is_periodic_plus_trend(self, small_seasonal):
+        period = small_seasonal["period"]
+        values = small_seasonal["values"]
+        model = OneShotSTL(period, shift_window=0)
+        model.initialize(values[: 4 * period])
+        for value in values[4 * period : 6 * period]:
+            model.update(float(value))
+        forecast = model.forecast(2 * period)
+        assert forecast.shape == (2 * period,)
+        # Forecast repeats with the period once the trend is flat-ish.
+        np.testing.assert_allclose(forecast[:period], forecast[period:], atol=1e-9)
+        expected = small_seasonal["trend"][6 * period] + small_seasonal["seasonal"][
+            6 * period : 7 * period
+        ]
+        assert np.mean(np.abs(forecast[:period] - expected)) < 0.5
+
+    def test_seasonality_shift_is_detected_and_applied(self):
+        period = 50
+        cycles = 14
+        time = np.arange(period * cycles)
+        seasonal = np.sin(2 * np.pi * time / period)
+        values = seasonal.copy()
+        shift_start = period * 9
+        shift = 10
+        values[shift_start:] = np.sin(2 * np.pi * (time[shift_start:] + shift) / period)
+
+        init_length = period * 6
+        with_shift = OneShotSTL(period, shift_window=15, shift_threshold=3.0)
+        without_shift = OneShotSTL(period, shift_window=0)
+        with_shift.initialize(values[:init_length])
+        without_shift.initialize(values[:init_length])
+
+        residual_with = []
+        residual_without = []
+        for value in values[init_length:]:
+            residual_with.append(abs(with_shift.update(float(value)).residual))
+            residual_without.append(abs(without_shift.update(float(value)).residual))
+        # The benefit of the shift search shows in the transition window right
+        # after the shift: the corrected decomposition keeps the residual
+        # small while the uncorrected one takes a long time to re-adapt.
+        transition = slice(shift_start - init_length, shift_start - init_length + period // 2)
+        assert with_shift.current_shift != 0
+        assert np.mean(residual_with[transition]) < 0.5 * np.mean(residual_without[transition])
+
+    def test_shift_window_zero_never_shifts(self, small_seasonal):
+        period = small_seasonal["period"]
+        model = OneShotSTL(period, shift_window=0)
+        model.initialize(small_seasonal["values"][: 4 * period])
+        for value in small_seasonal["values"][4 * period : 5 * period]:
+            model.update(float(value))
+        assert model.current_shift == 0
+
+    def test_seasonal_buffer_has_period_length(self, small_seasonal):
+        period = small_seasonal["period"]
+        model = OneShotSTL(period, shift_window=0)
+        model.initialize(small_seasonal["values"][: 4 * period])
+        assert model.seasonal_buffer.shape == (period,)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            OneShotSTL(1)
+        with pytest.raises(ValueError):
+            OneShotSTL(10, iterations=0)
+        with pytest.raises(ValueError):
+            OneShotSTL(10, lambda1=0.0)
+        with pytest.raises(ValueError):
+            OneShotSTL(10, shift_window=-1)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_property_reconstruction_and_boundedness(self, seed):
+        data = make_seasonal_series(24 * 6, 24, seed=seed, noise=0.1)
+        values = data["values"]
+        model = OneShotSTL(24, iterations=2, shift_window=0)
+        model.initialize(values[: 24 * 4])
+        for value in values[24 * 4 :]:
+            point = model.update(float(value))
+            assert np.isfinite(point.trend)
+            assert np.isfinite(point.seasonal)
+            assert point.reconstruct() == pytest.approx(point.value, abs=1e-8)
+
+
+class TestLambdaSelection:
+    def test_returns_candidate_from_grid(self, small_seasonal):
+        chosen = select_lambda(
+            small_seasonal["values"],
+            small_seasonal["period"],
+            candidates=(1.0, 100.0),
+            iterations=2,
+        )
+        assert chosen in (1.0, 100.0)
+
+    def test_jointstl_method(self, small_seasonal):
+        chosen = select_lambda(
+            small_seasonal["values"],
+            small_seasonal["period"],
+            candidates=(1.0, 1000.0),
+            iterations=2,
+            method="jointstl",
+        )
+        assert chosen in (1.0, 1000.0)
+
+    def test_rejects_unknown_method(self, small_seasonal):
+        with pytest.raises(ValueError):
+            select_lambda(
+                small_seasonal["values"],
+                small_seasonal["period"],
+                method="magic",
+            )
+
+
+class TestInitializerChoices:
+    def test_jointstl_initializer(self, small_seasonal):
+        period = small_seasonal["period"]
+        model = OneShotSTL(
+            period,
+            shift_window=0,
+            initializer=JointSTL(period, iterations=3),
+        )
+        result = model.initialize(small_seasonal["values"][: 4 * period])
+        assert len(result) == 4 * period
+        point = model.update(float(small_seasonal["values"][4 * period]))
+        assert np.isfinite(point.trend)
+
+    def test_stl_initializer_is_default(self, small_seasonal):
+        period = small_seasonal["period"]
+        model = OneShotSTL(period, shift_window=0)
+        result = model.initialize(small_seasonal["values"][: 4 * period])
+        reference = STL(period, seasonal_window="periodic").decompose(
+            small_seasonal["values"][: 4 * period]
+        )
+        np.testing.assert_allclose(result.trend, reference.trend)

@@ -1,0 +1,217 @@
+"""Tests for the dataset generators and loaders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    TSB_UAD_FAMILIES,
+    TSF_DATASETS,
+    inject_level_shift,
+    inject_spike,
+    load_csv_column,
+    load_kdd21_file,
+    load_tsb_uad_file,
+    make_benchmark,
+    make_family,
+    make_kdd21_like,
+    make_real1_like,
+    make_real2_like,
+    make_seasonal,
+    make_syn1,
+    make_syn2,
+    make_tsf_dataset,
+    random_anomalies,
+    repeat_series,
+)
+from repro.periodicity import find_length
+
+
+class TestSyntheticComponents:
+    def test_syn1_components_add_up(self):
+        data = make_syn1(length=3500, period=250)
+        np.testing.assert_allclose(
+            data.values, data.trend + data.seasonal + data.residual
+        )
+        assert data.period == 250
+        assert len(data) == 3500
+
+    def test_syn1_has_abrupt_trend_change(self):
+        data = make_syn1(length=4000, period=200)
+        jumps = np.abs(np.diff(data.trend))
+        assert jumps.max() > 0.5
+
+    def test_syn2_contains_shifted_periods(self):
+        data = make_syn2(length=2500, period=250, shift=10)
+        # The shifted periods make the seasonal component deviate from a
+        # strictly periodic extension of itself.
+        drift = np.abs(data.seasonal[250:] - data.seasonal[:-250])
+        assert drift.max() > 0.1
+
+    def test_detected_period_matches_generated(self):
+        data = make_syn1(length=4000, period=200)
+        assert abs(find_length(data.values, max_period=600) - 200) <= 10
+
+    def test_make_seasonal_shapes(self):
+        for shape in ("sine", "mixed", "sharp"):
+            seasonal = make_seasonal(300, 50, shape=shape)
+            assert seasonal.shape == (300,)
+        with pytest.raises(ValueError):
+            make_seasonal(300, 50, shape="square")
+
+    def test_repeat_series(self):
+        repeated = repeat_series(np.arange(5.0), 12)
+        assert repeated.shape == (12,)
+        np.testing.assert_allclose(repeated[:5], repeated[5:10])
+
+    def test_real_like_generators(self):
+        real1 = make_real1_like(length=4000, period=500)
+        real2 = make_real2_like(length=4000, period=500)
+        for data in (real1, real2):
+            np.testing.assert_allclose(
+                data.values, data.trend + data.seasonal + data.residual
+            )
+        # Real1 has a visible trend break, Real2 mostly noise.
+        assert np.abs(np.diff(real1.trend)).max() > 0.1
+        assert np.std(real2.residual) > np.std(real2.seasonal)
+
+
+class TestAnomalyInjection:
+    def test_spike_is_labelled(self):
+        values, labels = inject_spike(np.zeros(100) + np.sin(np.arange(100.0)), 50)
+        assert labels[50] == 1
+        assert labels.sum() == 1
+        assert values[50] != pytest.approx(np.sin(50.0))
+
+    def test_level_shift_changes_mean(self):
+        base = np.random.default_rng(0).normal(size=300)
+        values, labels = inject_level_shift(base, 150, magnitude=4.0)
+        assert values[200:].mean() > base[200:].mean() + 2.0
+        assert labels.sum() > 0
+
+    def test_random_anomalies_respect_training_prefix(self):
+        base = np.sin(np.arange(2000.0) * 2 * np.pi / 100)
+        values, labels = random_anomalies(base, period=100, count=4, seed=3, start_at=800)
+        assert labels[:800].sum() == 0
+        assert labels.sum() > 0
+        assert values.shape == base.shape
+
+    def test_random_anomalies_zero_count(self):
+        base = np.zeros(500)
+        values, labels = random_anomalies(base, period=50, count=0)
+        assert labels.sum() == 0
+        np.testing.assert_allclose(values, base)
+
+
+class TestTSADBenchmark:
+    def test_family_profiles_cover_seventeen_datasets(self):
+        assert len(TSB_UAD_FAMILIES) == 17
+
+    def test_make_family_produces_valid_series(self):
+        family = make_family("IOPS", series_per_family=2, seed=1)
+        assert len(family) == 2
+        for series in family:
+            assert series.labels[: series.train_length].sum() == 0
+            assert series.labels.sum() > 0
+            assert 0 < series.train_length < len(series)
+            assert series.anomaly_fraction < 0.2
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            make_family("NotADataset")
+
+    def test_benchmark_subset(self):
+        benchmark = make_benchmark(series_per_family=1, families=("ECG", "YAHOO"))
+        assert set(benchmark) == {"ECG", "YAHOO"}
+
+
+class TestKDD21Like:
+    def test_each_series_has_one_anomaly_event_in_test_region(self):
+        series_list = make_kdd21_like(count=10, seed=2)
+        assert len(series_list) == 10
+        for series in series_list:
+            assert series.labels[: series.train_length].sum() == 0
+            assert series.labels.sum() > 0
+            # single contiguous event
+            changes = np.diff(np.concatenate([[0], series.labels, [0]]))
+            assert (changes == 1).sum() == 1
+
+    def test_nonseasonal_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            make_kdd21_like(count=5, nonseasonal_fraction=1.5)
+
+
+class TestTSFBenchmark:
+    def test_profiles_cover_six_datasets(self):
+        assert len(TSF_DATASETS) == 6
+
+    def test_split_fractions(self):
+        series = make_tsf_dataset("Traffic")
+        assert len(series.train_values) > len(series.test_values) > 0
+        assert len(series.train_values) + len(series.validation_values) + len(
+            series.test_values
+        ) == len(series)
+
+    def test_illness_uses_short_horizons(self):
+        series = make_tsf_dataset("Illness")
+        assert series.horizons == (24, 36, 48, 60)
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(KeyError):
+            make_tsf_dataset("M4")
+
+    def test_exchange_is_weakly_seasonal(self):
+        exchange = make_tsf_dataset("Exchange")
+        traffic = make_tsf_dataset("Traffic")
+        from repro.periodicity import autocorrelation
+
+        # Differencing removes the level/random-walk component so the ACF at
+        # the period lag isolates genuine seasonality.
+        exchange_acf = autocorrelation(np.diff(exchange.values), exchange.period + 1)[
+            exchange.period
+        ]
+        traffic_acf = autocorrelation(np.diff(traffic.values), traffic.period + 1)[
+            traffic.period
+        ]
+        assert traffic_acf > exchange_acf + 0.2
+
+
+class TestLoaders:
+    def test_tsb_uad_loader(self, tmp_path):
+        path = tmp_path / "demo.out"
+        rng = np.random.default_rng(0)
+        values = np.sin(np.arange(600.0) * 2 * np.pi / 50) + rng.normal(0, 0.1, 600)
+        labels = np.zeros(600, dtype=int)
+        labels[400:410] = 1
+        with path.open("w") as handle:
+            for value, label in zip(values, labels):
+                handle.write(f"{value},{label}\n")
+        series = load_tsb_uad_file(path, period=50)
+        assert len(series) == 600
+        assert series.labels.sum() == 10
+        assert series.period == 50
+
+    def test_kdd21_loader(self, tmp_path):
+        path = tmp_path / "007_300_450_470.txt"
+        values = np.sin(np.arange(800.0) * 2 * np.pi / 40)
+        np.savetxt(path, values)
+        series = load_kdd21_file(path, period=40)
+        assert series.train_length == 300
+        assert series.labels[450:471].all()
+        assert series.labels.sum() == 21
+
+    def test_kdd21_loader_requires_encoded_name(self, tmp_path):
+        path = tmp_path / "badname.txt"
+        np.savetxt(path, np.zeros(10))
+        with pytest.raises(ValueError):
+            load_kdd21_file(path)
+
+    def test_csv_loader(self, tmp_path):
+        path = tmp_path / "data.csv"
+        with path.open("w") as handle:
+            handle.write("date,OT\n")
+            for index in range(300):
+                handle.write(f"{index},{np.sin(index / 5):.4f}\n")
+        series = load_csv_column(path, "OT", period=31)
+        assert len(series) == 300
+        with pytest.raises(KeyError):
+            load_csv_column(path, "missing")

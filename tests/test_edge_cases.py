@@ -1,0 +1,163 @@
+"""Edge-case and robustness tests across the library.
+
+These tests pin down behaviour on degenerate inputs -- constant series,
+minimal lengths, extreme parameters -- where numerical code tends to break
+silently.
+"""
+
+import numpy as np
+import pytest
+
+from repro.anomaly import NSigma, NSigmaDetector, NormaDetector, StompDetector
+from repro.core import JointSTL, OneShotSTL
+from repro.decomposition import STL, OnlineSTL, RobustSTL, loess_smooth
+from repro.forecasting import (
+    DirectRidgeForecaster,
+    HoltWintersForecaster,
+    NaiveForecaster,
+    SeasonalNaiveForecaster,
+)
+from repro.metrics import mae, roc_auc
+from repro.periodicity import find_length
+from repro.solvers import IncrementalBandedLDLT
+
+
+class TestConstantSeries:
+    def test_stl_on_constant_series(self):
+        values = np.full(120, 7.5)
+        result = STL(12).decompose(values)
+        np.testing.assert_allclose(result.reconstruct(), values, atol=1e-9)
+        np.testing.assert_allclose(result.seasonal, 0.0, atol=1e-6)
+        np.testing.assert_allclose(result.residual, 0.0, atol=1e-6)
+
+    def test_oneshotstl_on_constant_series(self):
+        values = np.full(200, 3.0)
+        model = OneShotSTL(20, shift_window=0)
+        model.initialize(values[:80])
+        for value in values[80:]:
+            point = model.update(float(value))
+            assert point.trend == pytest.approx(3.0, abs=0.05)
+            assert point.seasonal == pytest.approx(0.0, abs=0.05)
+
+    def test_jointstl_on_constant_series(self):
+        values = np.full(100, -2.0)
+        result = JointSTL(10, iterations=3).decompose(values)
+        np.testing.assert_allclose(result.reconstruct(), values, atol=1e-8)
+        assert np.std(result.trend) < 0.05
+
+    def test_robuststl_on_constant_series(self):
+        values = np.full(90, 1.0)
+        result = RobustSTL(15, iterations=3).decompose(values)
+        np.testing.assert_allclose(result.reconstruct(), values, atol=1e-8)
+
+    def test_nsigma_on_constant_stream_never_alarms(self):
+        scorer = NSigma(threshold=3.0)
+        for _ in range(100):
+            verdict = scorer.update(5.0)
+            assert not verdict.is_anomaly
+
+    def test_onlinestl_on_constant_series(self):
+        values = np.full(150, 4.0)
+        model = OnlineSTL(15)
+        result = model.decompose(values, 60)
+        np.testing.assert_allclose(result.residual, 0.0, atol=1e-6)
+
+
+class TestMinimalSizes:
+    def test_smallest_valid_period(self):
+        rng = np.random.default_rng(0)
+        values = np.sin(np.pi * np.arange(60)) + 0.01 * rng.normal(size=60)
+        model = OneShotSTL(2, shift_window=0)
+        result = model.decompose(values, 10)
+        np.testing.assert_allclose(result.reconstruct(), values, atol=1e-8)
+
+    def test_loess_window_larger_than_series(self):
+        values = np.arange(5.0)
+        smoothed = loess_smooth(values, 99)
+        assert smoothed.shape == values.shape
+        assert np.all(np.isfinite(smoothed))
+
+    def test_forecast_horizon_one(self):
+        values = np.sin(np.arange(100.0))
+        model = SeasonalNaiveForecaster(10).fit(values)
+        assert model.forecast(values, 1).shape == (1,)
+        assert NaiveForecaster().fit(values).forecast(values, 1).shape == (1,)
+
+    def test_incremental_solver_single_variable_steps(self):
+        solver = IncrementalBandedLDLT(2)
+        reference_matrix = np.zeros((0, 0))
+        for step in range(12):
+            solver.extend(1, [(step, step, 4.0 + step)], [float(step)])
+            new = np.zeros((step + 1, step + 1))
+            new[:step, :step] = reference_matrix
+            new[step, step] = 4.0 + step
+            reference_matrix = new
+        expected = np.linalg.solve(reference_matrix, np.arange(12.0))
+        np.testing.assert_allclose(solver.tail_solution(2), expected[-2:], atol=1e-9)
+
+    def test_find_length_on_short_series(self):
+        assert find_length(np.arange(12.0), max_period=6) >= 2
+
+
+class TestDetectorRobustness:
+    def test_nsigma_detector_on_constant_test_region(self):
+        train = np.random.default_rng(1).normal(size=200)
+        test = np.full(50, train.mean())
+        scores = NSigmaDetector().detect(train, test)
+        assert np.all(np.isfinite(scores))
+        assert np.max(scores) < 5.0
+
+    def test_norma_on_noisy_data_produces_finite_scores(self):
+        rng = np.random.default_rng(2)
+        train = rng.normal(size=400)
+        test = rng.normal(size=200)
+        scores = NormaDetector(window=16, clusters=3).detect(train, test)
+        assert scores.shape == (200,)
+        assert np.all(np.isfinite(scores))
+
+    def test_stomp_detector_with_flat_training_segments(self):
+        train = np.concatenate([np.zeros(100), np.sin(np.arange(200.0) / 5)])
+        test = np.sin(np.arange(300.0, 400.0) / 5)
+        scores = StompDetector(window=20).detect(train, test)
+        assert np.all(np.isfinite(scores))
+
+    def test_detectors_reject_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            NSigmaDetector().detect([], [1.0])
+        with pytest.raises(ValueError):
+            NSigmaDetector().detect([1.0, np.nan, 2.0], [1.0])
+
+
+class TestForecasterRobustness:
+    def test_ridge_on_constant_series(self):
+        values = np.full(400, 2.5)
+        model = DirectRidgeForecaster(input_window=20, horizon=10).fit(values)
+        np.testing.assert_allclose(model.forecast(values, 10), 2.5, atol=1e-6)
+
+    def test_holt_winters_on_pure_seasonal_signal(self):
+        period = 12
+        values = np.tile(np.sin(2 * np.pi * np.arange(period) / period), 20)
+        model = HoltWintersForecaster(period).fit(values)
+        prediction = model.forecast(values, period)
+        assert mae(values[:period], prediction) < 0.2
+
+    def test_seasonal_naive_with_horizon_longer_than_period(self):
+        values = np.tile(np.arange(5.0), 10)
+        prediction = SeasonalNaiveForecaster(5).fit(values).forecast(values, 12)
+        np.testing.assert_allclose(prediction[:5], prediction[5:10])
+
+
+class TestMetricEdgeCases:
+    def test_roc_auc_with_single_positive(self):
+        labels = np.zeros(100, dtype=int)
+        labels[40] = 1
+        scores = np.zeros(100)
+        scores[40] = 1.0
+        assert roc_auc(labels, scores) == pytest.approx(1.0)
+
+    def test_mae_of_identical_constant_arrays(self):
+        assert mae(np.full(10, 3.0), np.full(10, 3.0)) == 0.0
+
+    def test_roc_rejects_empty(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([]), np.array([]))

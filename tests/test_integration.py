@@ -1,0 +1,132 @@
+"""End-to-end integration tests across subsystems.
+
+These tests exercise realistic workflows that span several subpackages:
+dataset generation -> period detection -> decomposition -> anomaly scoring
+-> evaluation, and dataset generation -> forecasting -> evaluation.  They
+are intentionally small (a few thousand points) so the whole suite stays
+fast, but they touch the same code paths as the benchmark harnesses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.anomaly import (
+    NSigmaDetector,
+    OneShotSTLDetector,
+    OnlineSTLDetector,
+    score_anomaly_series,
+)
+from repro.core import JointSTL, ModifiedJointSTL, OneShotSTL
+from repro.datasets import make_family, make_kdd21_like, make_syn1, make_tsf_dataset
+from repro.decomposition import STL, OnlineSTL
+from repro.forecasting import (
+    OneShotSTLForecaster,
+    SeasonalNaiveForecaster,
+    evaluate_on_series,
+)
+from repro.metrics import kdd21_score, vus_roc
+from repro.metrics.kdd21 import kdd21_single
+from repro.periodicity import find_length
+from repro.streaming import StreamingPipeline
+
+
+class TestAnomalyWorkflow:
+    def test_detector_beats_random_on_benchmark_family(self):
+        series = make_family("IOPS", series_per_family=1, seed=13)[0]
+        detector = OneShotSTLDetector(series.period, shift_window=20)
+        scores = score_anomaly_series(detector, series)
+        rng = np.random.default_rng(0)
+        random_scores = rng.random(scores.size)
+        window = min(series.period // 2, 100)
+        assert vus_roc(series.test_labels, scores, max_window=window, steps=5) > vus_roc(
+            series.test_labels, random_scores, max_window=window, steps=5
+        )
+
+    def test_period_detection_feeds_detector(self):
+        series = make_family("ECG", series_per_family=1, seed=3)[0]
+        detected_period = find_length(series.train_values, max_period=3 * series.period)
+        detector = OnlineSTLDetector(detected_period)
+        scores = detector.detect(series.train_values, series.test_values)
+        assert scores.shape == series.test_values.shape
+        assert np.all(np.isfinite(scores))
+
+    def test_kdd21_workflow_scores_some_series(self):
+        series_list = make_kdd21_like(count=4, seed=9)
+        verdicts = []
+        for series in series_list:
+            detector = NSigmaDetector()
+            scores = detector.detect(series.train_values, series.test_values)
+            positions = np.where(series.test_labels == 1)[0]
+            verdicts.append(
+                kdd21_single(scores, int(positions[0]), int(positions[-1]) + 1)
+            )
+        assert 0.0 <= kdd21_score(verdicts) <= 1.0
+
+
+class TestForecastingWorkflow:
+    def test_oneshotstl_beats_seasonal_naive_on_weather_like_data(self):
+        series = make_tsf_dataset("Weather", seed=2)
+        horizon = 96
+        std = evaluate_on_series(
+            OneShotSTLForecaster(series.period, shift_window=0),
+            series,
+            horizon=horizon,
+            max_origins=3,
+        )
+        naive = evaluate_on_series(
+            SeasonalNaiveForecaster(series.period), series, horizon=horizon, max_origins=3
+        )
+        assert std.mae <= naive.mae * 1.2
+
+    def test_forecaster_and_pipeline_agree(self):
+        data = make_syn1(length=2400, period=200, seed=5)
+        init = 4 * 200
+        pipeline = StreamingPipeline(OneShotSTL(200, shift_window=0))
+        pipeline.initialize(data.values[:init])
+        pipeline.process_many(data.values[init : init + 400])
+
+        forecaster = OneShotSTLForecaster(200, shift_window=0)
+        forecaster.fit(data.values[:init])
+        prediction = forecaster.forecast(data.values[: init + 400], 50)
+        np.testing.assert_allclose(prediction, pipeline.forecast(50), atol=1e-9)
+
+
+class TestDecompositionConsistency:
+    def test_batch_and_online_joint_models_agree_on_trend_level(self):
+        data = make_syn1(length=1600, period=200, seed=6)
+        batch = JointSTL(200, iterations=4).decompose(data.values)
+        online = OneShotSTL(200, iterations=4, shift_window=0).decompose(
+            data.values, 4 * 200
+        )
+        view = slice(4 * 200, None)
+        batch_error = np.mean(np.abs(batch.trend[view] - data.trend[view]))
+        online_error = np.mean(np.abs(online.trend[view] - data.trend[view]))
+        # The online approximation should stay within a reasonable factor of
+        # the batch solution it approximates.
+        assert online_error < 5 * batch_error + 0.05
+
+    def test_stl_initialization_is_consistent_across_methods(self):
+        data = make_syn1(length=1600, period=200, seed=7)
+        init = 4 * 200
+        reference = STL(200, seasonal_window="periodic").decompose(data.values[:init])
+        for factory in (
+            lambda: OneShotSTL(200, shift_window=0),
+            lambda: ModifiedJointSTL(200),
+            lambda: OnlineSTL(200),
+        ):
+            result = factory().initialize(data.values[:init])
+            np.testing.assert_allclose(result.seasonal, reference.seasonal, atol=1e-9)
+
+    def test_long_stream_stays_stable(self):
+        # A long stream (many periods) must not accumulate numerical drift:
+        # the reconstruction identity holds at every point and the residuals
+        # stay bounded.
+        data = make_syn1(length=4000, period=100, seed=8)
+        model = OneShotSTL(100, shift_window=0, iterations=4)
+        model.initialize(data.values[:400])
+        worst_residual = 0.0
+        for value in data.values[400:]:
+            point = model.update(float(value))
+            assert point.reconstruct() == pytest.approx(point.value, abs=1e-8)
+            worst_residual = max(worst_residual, abs(point.residual))
+        assert worst_residual < 3.0

@@ -1,0 +1,195 @@
+"""Tests for the evaluation metrics (forecast errors, AUC, VUS-ROC, KDD21)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    average_precision,
+    kdd21_score,
+    mae,
+    mape,
+    mse,
+    range_roc_auc,
+    rmse,
+    roc_auc,
+    roc_curve,
+    smape,
+    vus_roc,
+)
+from repro.metrics.kdd21 import kdd21_single
+from repro.metrics.vus import soft_range_labels
+
+
+class TestForecastErrors:
+    def test_mae_known_value(self):
+        assert mae([1.0, 2.0, 3.0], [2.0, 2.0, 2.0]) == pytest.approx(2.0 / 3.0)
+
+    def test_mse_and_rmse_consistent(self):
+        actual = np.array([1.0, 2.0, 4.0])
+        predicted = np.array([1.0, 3.0, 2.0])
+        assert rmse(actual, predicted) == pytest.approx(np.sqrt(mse(actual, predicted)))
+
+    def test_perfect_prediction_is_zero(self):
+        values = np.linspace(-3, 7, 50)
+        assert mae(values, values) == 0.0
+        assert mse(values, values) == 0.0
+        assert smape(values, values) == 0.0
+
+    def test_mape_handles_near_zero_actuals(self):
+        assert np.isfinite(mape([0.0, 1.0], [1.0, 1.0]))
+
+    def test_smape_bounded_by_two(self):
+        assert smape([1.0, -1.0], [-1.0, 1.0]) <= 2.0 + 1e-12
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mae([1.0, 2.0], [1.0])
+
+    @given(st.integers(min_value=1, max_value=100), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_mae_triangle(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a, b, c = rng.normal(size=(3, n))
+        assert mae(a, c) <= mae(a, b) + mae(b, c) + 1e-9
+
+
+class TestROC:
+    def test_perfect_detector_has_auc_one(self):
+        labels = np.array([0, 0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.3, 0.9, 0.8])
+        assert roc_auc(labels, scores) == pytest.approx(1.0)
+
+    def test_inverted_detector_has_auc_zero(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.1, 0.2])
+        assert roc_auc(labels, scores) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=5000)
+        scores = rng.random(5000)
+        assert roc_auc(labels, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_curve_monotone(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, size=200)
+        scores = rng.random(200)
+        fpr, tpr, _ = roc_curve(labels, scores)
+        assert np.all(np.diff(fpr) >= -1e-12)
+        assert np.all(np.diff(tpr) >= -1e-12)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == pytest.approx(1.0) and tpr[-1] == pytest.approx(1.0)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.ones(5), np.arange(5.0))
+
+    def test_average_precision_perfect(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert average_precision(labels, scores) == pytest.approx(1.0)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_auc_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(10, 200))
+        labels = rng.integers(0, 2, size=n)
+        if labels.sum() == 0:
+            labels[0] = 1
+        if labels.sum() == n:
+            labels[0] = 0
+        scores = rng.normal(size=n)
+        value = roc_auc(labels, scores)
+        assert 0.0 <= value <= 1.0
+
+
+class TestVUS:
+    def _labels_scores(self, hit_offset=0):
+        labels = np.zeros(500, dtype=int)
+        labels[200:210] = 1
+        scores = np.zeros(500)
+        scores[205 + hit_offset] = 10.0
+        return labels, scores
+
+    def test_soft_labels_extend_anomaly(self):
+        labels = np.zeros(100, dtype=int)
+        labels[50:55] = 1
+        soft = soft_range_labels(labels, window=10)
+        assert soft[50] == 1.0
+        assert 0 < soft[45] < 1.0
+        assert soft[30] == 0.0
+        assert np.all(soft >= labels)
+
+    def test_soft_labels_window_zero_is_identity(self):
+        labels = np.zeros(50, dtype=int)
+        labels[10] = 1
+        np.testing.assert_array_equal(soft_range_labels(labels, 0), labels.astype(float))
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(ValueError):
+            soft_range_labels(np.array([0.0, 0.5, 1.0]), 5)
+
+    def test_near_miss_scores_higher_with_vus_than_plain_auc(self):
+        labels, scores = self._labels_scores(hit_offset=12)  # just outside the event
+        plain = roc_auc(labels, scores)
+        ranged = range_roc_auc(labels, scores, window=20)
+        assert ranged > plain
+
+    def test_exact_hit_gets_high_vus(self):
+        labels = np.zeros(500, dtype=int)
+        labels[200:210] = 1
+        scores = np.zeros(500)
+        scores[200:210] = 10.0
+        # Even a perfect event hit does not reach 1.0 once the soft buffer
+        # mass is added -- the published VUS-ROC behaves the same way -- but
+        # it must stay clearly above chance and above a random scorer.
+        value = vus_roc(labels, scores, max_window=20)
+        assert value > 0.7
+        random_scores = np.random.default_rng(1).random(500)
+        assert value > vus_roc(labels, random_scores, max_window=20) + 0.1
+
+    def test_partial_hit_beats_random(self):
+        labels, scores = self._labels_scores()
+        rng = np.random.default_rng(0)
+        random_scores = rng.random(labels.size)
+        assert vus_roc(labels, scores, max_window=20) > vus_roc(
+            labels, random_scores, max_window=20
+        ) - 0.05
+
+    def test_vus_bounds(self):
+        rng = np.random.default_rng(3)
+        labels = np.zeros(400, dtype=int)
+        labels[100:120] = 1
+        scores = rng.random(400)
+        value = vus_roc(labels, scores, max_window=30)
+        assert 0.0 <= value <= 1.0
+
+    def test_vus_requires_anomaly(self):
+        with pytest.raises(ValueError):
+            vus_roc(np.zeros(100, dtype=int), np.random.default_rng(0).random(100))
+
+
+class TestKDD21:
+    def test_hit_within_tolerance(self):
+        scores = np.zeros(1000)
+        scores[540] = 5.0
+        assert kdd21_single(scores, anomaly_start=500, anomaly_stop=520, tolerance=100)
+
+    def test_miss_outside_tolerance(self):
+        scores = np.zeros(1000)
+        scores[900] = 5.0
+        assert not kdd21_single(scores, anomaly_start=500, anomaly_stop=520, tolerance=100)
+
+    def test_score_is_fraction(self):
+        assert kdd21_score([True, False, True, True]) == pytest.approx(0.75)
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            kdd21_score([])
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            kdd21_single(np.zeros(10), anomaly_start=5, anomaly_stop=20)

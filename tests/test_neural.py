@@ -1,0 +1,92 @@
+"""Tests for the minimal neural-network substrate."""
+
+import numpy as np
+import pytest
+
+from repro.neural import AdamOptimizer, DenseLayer, MLPRegressor
+
+
+class TestDenseLayer:
+    def test_forward_shape(self):
+        layer = DenseLayer(4, 3, rng=np.random.default_rng(0))
+        outputs = layer.forward(np.ones((5, 4)))
+        assert outputs.shape == (5, 3)
+
+    def test_backward_requires_forward(self):
+        layer = DenseLayer(2, 2)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_unknown_activation_rejected(self):
+        with pytest.raises(ValueError):
+            DenseLayer(2, 2, activation="swish")
+
+    def test_gradient_check_identity_activation(self):
+        rng = np.random.default_rng(1)
+        layer = DenseLayer(3, 2, activation="identity", rng=rng)
+        inputs = rng.normal(size=(4, 3))
+        targets = rng.normal(size=(4, 2))
+
+        def loss():
+            return 0.5 * np.sum((layer.forward(inputs) - targets) ** 2)
+
+        base = loss()
+        gradient_out = layer.forward(inputs) - targets
+        _, weight_gradient, _ = layer.backward(gradient_out)
+        epsilon = 1e-6
+        layer.weights[0, 0] += epsilon
+        numerical = (loss() - base) / epsilon
+        layer.weights[0, 0] -= epsilon
+        # backward() averages over the batch, the numerical gradient does not.
+        assert numerical == pytest.approx(weight_gradient[0, 0] * inputs.shape[0], rel=1e-3)
+
+
+class TestAdam:
+    def test_minimizes_quadratic(self):
+        parameter = np.array([5.0])
+        optimizer = AdamOptimizer(learning_rate=0.1)
+        for _ in range(500):
+            gradient = 2.0 * parameter
+            optimizer.update([parameter], [gradient])
+        assert abs(parameter[0]) < 1e-2
+
+
+class TestMLPRegressor:
+    def test_learns_linear_function(self):
+        rng = np.random.default_rng(0)
+        inputs = rng.normal(size=(400, 3))
+        targets = inputs @ np.array([[1.0], [-2.0], [0.5]]) + 0.3
+        model = MLPRegressor(3, 1, hidden_sizes=(), epochs=200, learning_rate=0.05, seed=0)
+        model.fit(inputs, targets)
+        predictions = model.predict(inputs)
+        assert np.mean((predictions - targets) ** 2) < 0.05
+
+    def test_learns_nonlinear_function(self):
+        rng = np.random.default_rng(1)
+        inputs = rng.uniform(-1, 1, size=(600, 2))
+        targets = np.sin(3 * inputs[:, :1]) * inputs[:, 1:]
+        model = MLPRegressor(2, 1, hidden_sizes=(32, 32), epochs=300, learning_rate=0.01, seed=1)
+        model.fit(inputs, targets)
+        error = np.mean((model.predict(inputs) - targets) ** 2)
+        assert error < 0.1 * np.var(targets) + 1e-3
+
+    def test_early_stopping_records_history(self):
+        rng = np.random.default_rng(2)
+        inputs = rng.normal(size=(100, 2))
+        targets = inputs.sum(axis=1, keepdims=True)
+        model = MLPRegressor(2, 1, hidden_sizes=(8,), epochs=500, patience=5, seed=2)
+        model.fit(inputs, targets)
+        assert 0 < len(model.training_history) <= 500
+
+    def test_dimension_mismatch_rejected(self):
+        model = MLPRegressor(3, 1)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((10, 2)), np.zeros((10, 1)))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((10, 3)), np.zeros((8, 1)))
+
+    def test_invalid_hyperparameters_rejected(self):
+        with pytest.raises(ValueError):
+            MLPRegressor(2, 1, validation_fraction=1.5)
+        with pytest.raises(ValueError):
+            MLPRegressor(0, 1)

@@ -1,0 +1,59 @@
+"""Tests for period detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.periodicity import autocorrelation, estimate_period, find_length, periodogram_period
+
+
+def seasonal_series(period, cycles=20, noise=0.1, seed=0):
+    rng = np.random.default_rng(seed)
+    time = np.arange(period * cycles)
+    return np.sin(2 * np.pi * time / period) + 0.3 * np.sin(4 * np.pi * time / period) + rng.normal(
+        0, noise, period * cycles
+    )
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        values = np.random.default_rng(0).normal(size=200)
+        acf = autocorrelation(values, 50)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_periodic_signal_peaks_at_period(self):
+        acf = autocorrelation(seasonal_series(24), 60)
+        assert acf[24] > acf[12]
+        assert acf[24] > 0.5
+
+    def test_constant_series_returns_degenerate_acf(self):
+        acf = autocorrelation(np.full(100, 3.0), 10)
+        assert acf[0] == pytest.approx(1.0)
+        np.testing.assert_allclose(acf[1:], 0.0)
+
+
+class TestFindLength:
+    @pytest.mark.parametrize("period", [12, 24, 50, 100])
+    def test_recovers_known_period(self, period):
+        estimate = find_length(seasonal_series(period), max_period=300)
+        assert abs(estimate - period) <= max(2, period // 20)
+
+    def test_noise_only_returns_fallback(self):
+        rng = np.random.default_rng(5)
+        estimate = find_length(rng.normal(size=2000), max_period=300)
+        assert 2 <= estimate <= 300
+
+    def test_periodogram_recovers_period(self):
+        estimate = periodogram_period(seasonal_series(40), max_period=200)
+        assert abs(estimate - 40) <= 2
+
+    def test_estimate_period_agrees_on_clean_signal(self):
+        assert abs(estimate_period(seasonal_series(36)) - 36) <= 2
+
+    @given(st.sampled_from([10, 16, 25, 32, 48, 64]), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_property_detection_within_ten_percent(self, period, seed):
+        values = seasonal_series(period, cycles=25, noise=0.05, seed=seed)
+        estimate = find_length(values, max_period=4 * period)
+        assert abs(estimate - period) <= max(2, int(0.1 * period))

@@ -1,0 +1,260 @@
+"""Tests for the LDL^T solver substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solvers import (
+    BandedLDLT,
+    IncrementalBandedLDLT,
+    ldlt_factor,
+    ldlt_solve,
+    solve_symmetric,
+)
+
+
+def random_spd(n: int, rng: np.random.Generator) -> np.ndarray:
+    base = rng.normal(size=(n, n))
+    return base @ base.T + n * np.eye(n)
+
+
+def random_banded_spd(n: int, w: int, rng: np.random.Generator) -> np.ndarray:
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        for j in range(max(0, i - w), i + 1):
+            value = rng.normal()
+            matrix[i, j] = value
+            matrix[j, i] = value
+    matrix += (w + 2) * n * np.eye(n)
+    return matrix
+
+
+class TestDenseLDLT:
+    def test_factor_reconstructs_matrix(self):
+        rng = np.random.default_rng(0)
+        matrix = random_spd(8, rng)
+        lower, diag = ldlt_factor(matrix)
+        reconstructed = lower @ np.diag(diag) @ lower.T
+        np.testing.assert_allclose(reconstructed, matrix, atol=1e-8)
+
+    def test_unit_lower_triangular(self):
+        rng = np.random.default_rng(1)
+        matrix = random_spd(6, rng)
+        lower, _ = ldlt_factor(matrix)
+        np.testing.assert_allclose(np.diag(lower), np.ones(6))
+        assert np.allclose(np.triu(lower, 1), 0.0)
+
+    def test_solve_matches_numpy(self):
+        rng = np.random.default_rng(2)
+        matrix = random_spd(10, rng)
+        rhs = rng.normal(size=10)
+        lower, diag = ldlt_factor(matrix)
+        x = ldlt_solve(lower, diag, rhs)
+        np.testing.assert_allclose(x, np.linalg.solve(matrix, rhs), atol=1e-8)
+
+    def test_solve_symmetric_convenience(self):
+        rng = np.random.default_rng(3)
+        matrix = random_spd(5, rng)
+        rhs = rng.normal(size=5)
+        np.testing.assert_allclose(
+            solve_symmetric(matrix, rhs), np.linalg.solve(matrix, rhs), atol=1e-8
+        )
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            ldlt_factor(np.zeros((3, 4)))
+
+    def test_rejects_singular(self):
+        with pytest.raises(ValueError):
+            ldlt_factor(np.zeros((3, 3)))
+
+    def test_rejects_bad_rhs_shape(self):
+        rng = np.random.default_rng(4)
+        matrix = random_spd(4, rng)
+        lower, diag = ldlt_factor(matrix)
+        with pytest.raises(ValueError):
+            ldlt_solve(lower, diag, np.zeros(5))
+
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_solution_satisfies_system(self, n, seed):
+        rng = np.random.default_rng(seed)
+        matrix = random_spd(n, rng)
+        rhs = rng.normal(size=n)
+        x = solve_symmetric(matrix, rhs)
+        np.testing.assert_allclose(matrix @ x, rhs, atol=1e-6)
+
+
+class TestBandedLDLT:
+    def test_matches_dense_solution(self):
+        rng = np.random.default_rng(5)
+        matrix = random_banded_spd(30, 4, rng)
+        rhs = rng.normal(size=30)
+        solver = BandedLDLT.from_dense(matrix, 4)
+        np.testing.assert_allclose(solver.solve(rhs), np.linalg.solve(matrix, rhs), atol=1e-8)
+
+    def test_diagonal_positive_for_spd(self):
+        rng = np.random.default_rng(6)
+        matrix = random_banded_spd(20, 3, rng)
+        solver = BandedLDLT.from_dense(matrix, 3)
+        assert np.all(solver.diagonal > 0)
+
+    def test_rejects_wrong_rhs(self):
+        rng = np.random.default_rng(7)
+        matrix = random_banded_spd(10, 2, rng)
+        solver = BandedLDLT.from_dense(matrix, 2)
+        with pytest.raises(ValueError):
+            solver.solve(np.zeros(11))
+
+    @given(
+        st.integers(min_value=6, max_value=40),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_banded_matches_dense(self, n, w, seed):
+        rng = np.random.default_rng(seed)
+        matrix = random_banded_spd(n, w, rng)
+        rhs = rng.normal(size=n)
+        solver = BandedLDLT.from_dense(matrix, w)
+        np.testing.assert_allclose(solver.solve(rhs), np.linalg.solve(matrix, rhs), atol=1e-6)
+
+
+class DenseReference:
+    """Reference implementation of the growing system used to validate the
+    incremental solver: it keeps the full dense matrix at every step."""
+
+    def __init__(self):
+        self.matrix = np.zeros((0, 0))
+        self.rhs = np.zeros(0)
+
+    def extend(self, num_new, updates, rhs_new):
+        old = self.matrix.shape[0]
+        new = old + num_new
+        matrix = np.zeros((new, new))
+        matrix[:old, :old] = self.matrix
+        rhs = np.zeros(new)
+        rhs[:old] = self.rhs
+        rhs[old:] = rhs_new
+        for row, column, value in updates:
+            matrix[row, column] += value
+            if row != column:
+                matrix[column, row] += value
+        self.matrix = matrix
+        self.rhs = rhs
+
+    def tail_solution(self, count):
+        return np.linalg.solve(self.matrix, self.rhs)[-count:]
+
+
+def _random_growth_step(rng, old_size, num_new, w):
+    """Generate random SPD-preserving updates confined to the mutable tail."""
+    new_size = old_size + num_new
+    lowest = max(0, old_size - w)
+    updates = []
+    # Strong diagonal terms for the new variables keep the system SPD.
+    for index in range(old_size, new_size):
+        updates.append((index, index, 5.0 + rng.uniform(0, 1)))
+    # A handful of random off-diagonal couplings within the allowed region.
+    for _ in range(6):
+        row = int(rng.integers(lowest, new_size))
+        column = int(rng.integers(max(lowest, row - w), row + 1))
+        updates.append((row, column, rng.normal() * 0.3))
+    # Small diagonal bumps on mutable existing indices.
+    for index in range(lowest, old_size):
+        updates.append((index, index, abs(rng.normal()) * 0.2 + 0.2))
+    rhs_new = rng.normal(size=num_new)
+    return updates, rhs_new
+
+
+class TestIncrementalBandedLDLT:
+    @pytest.mark.parametrize("w,num_new", [(4, 2), (4, 1), (3, 3), (2, 1), (5, 2)])
+    def test_matches_dense_reference(self, w, num_new):
+        rng = np.random.default_rng(42 + w * 10 + num_new)
+        incremental = IncrementalBandedLDLT(w)
+        reference = DenseReference()
+        for _ in range(40):
+            updates, rhs_new = _random_growth_step(
+                rng, incremental.size, num_new, w
+            )
+            incremental.extend(num_new, updates, rhs_new)
+            reference.extend(num_new, updates, rhs_new)
+            count = min(w, incremental.size)
+            np.testing.assert_allclose(
+                incremental.tail_solution(count),
+                reference.tail_solution(count),
+                atol=1e-8,
+            )
+        assert incremental.is_incremental
+
+    def test_copy_is_independent(self):
+        rng = np.random.default_rng(3)
+        solver = IncrementalBandedLDLT(4)
+        for _ in range(20):
+            updates, rhs_new = _random_growth_step(rng, solver.size, 2, 4)
+            solver.extend(2, updates, rhs_new)
+        clone = solver.copy()
+        before = solver.tail_solution(2).copy()
+        updates, rhs_new = _random_growth_step(rng, clone.size, 2, 4)
+        clone.extend(2, updates, rhs_new)
+        np.testing.assert_allclose(solver.tail_solution(2), before)
+        assert clone.size == solver.size + 2
+
+    def test_rejects_update_outside_mutable_region(self):
+        rng = np.random.default_rng(4)
+        solver = IncrementalBandedLDLT(3)
+        for _ in range(10):
+            updates, rhs_new = _random_growth_step(rng, solver.size, 1, 3)
+            solver.extend(1, updates, rhs_new)
+        with pytest.raises(ValueError):
+            solver.extend(1, [(0, 0, 1.0), (solver.size, solver.size, 5.0)], [0.0])
+
+    def test_rejects_bandwidth_violation(self):
+        solver = IncrementalBandedLDLT(2)
+        solver.extend(2, [(0, 0, 5.0), (1, 1, 5.0)], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            solver.extend(
+                2,
+                [(2, 2, 5.0), (3, 3, 5.0), (3, 0, 1.0)],
+                [1.0, 1.0],
+            )
+
+    def test_rejects_too_many_new_variables(self):
+        solver = IncrementalBandedLDLT(2)
+        with pytest.raises(ValueError):
+            solver.extend(3, [], [1.0, 1.0, 1.0])
+
+    def test_empty_system_has_no_solution(self):
+        solver = IncrementalBandedLDLT(2)
+        with pytest.raises(ValueError):
+            solver.tail_solution(1)
+
+    def test_tail_count_limited_in_incremental_mode(self):
+        rng = np.random.default_rng(5)
+        solver = IncrementalBandedLDLT(2)
+        for _ in range(10):
+            updates, rhs_new = _random_growth_step(rng, solver.size, 1, 2)
+            solver.extend(1, updates, rhs_new)
+        assert solver.is_incremental
+        with pytest.raises(ValueError):
+            solver.tail_solution(3)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_property_incremental_equals_dense(self, seed):
+        rng = np.random.default_rng(seed)
+        w = int(rng.integers(2, 6))
+        num_new = int(rng.integers(1, w + 1))
+        incremental = IncrementalBandedLDLT(w)
+        reference = DenseReference()
+        for _ in range(15):
+            updates, rhs_new = _random_growth_step(rng, incremental.size, num_new, w)
+            incremental.extend(num_new, updates, rhs_new)
+            reference.extend(num_new, updates, rhs_new)
+        count = min(w, incremental.size)
+        np.testing.assert_allclose(
+            incremental.tail_solution(count),
+            reference.tail_solution(count),
+            atol=1e-7,
+        )

@@ -1,0 +1,86 @@
+"""Tests for the streaming utilities (ring buffer, pipeline, latency harness)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OneShotSTL
+from repro.decomposition import OnlineSTL
+from repro.streaming import RingBuffer, StreamingPipeline, measure_update_latency
+
+from tests.conftest import make_seasonal_series
+
+
+class TestRingBuffer:
+    def test_append_and_order(self):
+        buffer = RingBuffer(3)
+        buffer.extend([1.0, 2.0])
+        np.testing.assert_allclose(buffer.to_array(), [1.0, 2.0])
+        buffer.extend([3.0, 4.0])
+        np.testing.assert_allclose(buffer.to_array(), [2.0, 3.0, 4.0])
+        assert buffer.is_full
+        assert buffer.latest() == 4.0
+        assert len(buffer) == 3
+
+    def test_clear(self):
+        buffer = RingBuffer(2)
+        buffer.append(1.0)
+        buffer.clear()
+        assert len(buffer) == 0
+        with pytest.raises(ValueError):
+            buffer.latest()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            RingBuffer(0)
+
+
+class TestStreamingPipeline:
+    def test_pipeline_flags_injected_spike(self):
+        data = make_seasonal_series(24 * 10, 24, seed=9, noise=0.05)
+        values = data["values"].copy()
+        spike_index = 24 * 8
+        values[spike_index] += 10.0
+
+        pipeline = StreamingPipeline(OneShotSTL(24, shift_window=0), anomaly_threshold=5.0)
+        pipeline.initialize(values[: 24 * 6])
+        records = pipeline.process_many(values[24 * 6 :])
+        flagged = [record.index for record in records if record.is_anomaly]
+        assert any(abs(index - spike_index) <= 1 for index in flagged)
+
+    def test_pipeline_requires_initialization(self):
+        pipeline = StreamingPipeline(OnlineSTL(24))
+        with pytest.raises(RuntimeError):
+            pipeline.process(0.0)
+
+    def test_pipeline_forecast_delegation(self):
+        data = make_seasonal_series(24 * 8, 24, seed=10)
+        pipeline = StreamingPipeline(OneShotSTL(24, shift_window=0))
+        pipeline.initialize(data["values"][: 24 * 6])
+        pipeline.process_many(data["values"][24 * 6 :])
+        assert pipeline.forecast(12).shape == (12,)
+
+    def test_records_carry_reconstruction(self):
+        data = make_seasonal_series(24 * 8, 24, seed=11)
+        pipeline = StreamingPipeline(OnlineSTL(24))
+        pipeline.initialize(data["values"][: 24 * 6])
+        record = pipeline.process(float(data["values"][24 * 6]))
+        assert record.value == pytest.approx(
+            record.trend + record.seasonal + record.residual
+        )
+
+
+class TestLatencyHarness:
+    def test_latency_report_fields(self):
+        data = make_seasonal_series(24 * 8, 24, seed=12)
+        report = measure_update_latency(
+            OneShotSTL(24, shift_window=0, iterations=2),
+            data["values"][: 24 * 5],
+            data["values"][24 * 5 :],
+            max_points=40,
+        )
+        assert report.points == 40
+        assert report.mean_seconds > 0
+        assert report.p99_seconds >= report.median_seconds
+        row = report.as_row()
+        assert set(row) == {"method", "points", "mean_us", "median_us", "p99_us", "total_s"}
+        assert report.mean_microseconds == pytest.approx(report.mean_seconds * 1e6)

@@ -1,0 +1,90 @@
+"""Tests for the shared validation utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import (
+    as_float_array,
+    check_period,
+    check_positive,
+    check_positive_int,
+    check_probability,
+    sliding_window_view,
+)
+
+
+class TestAsFloatArray:
+    def test_converts_lists_and_copies(self):
+        values = [1, 2, 3]
+        array = as_float_array(values)
+        assert array.dtype == float
+        np.testing.assert_allclose(array, [1.0, 2.0, 3.0])
+
+    def test_rejects_two_dimensional_input(self):
+        with pytest.raises(ValueError):
+            as_float_array(np.zeros((3, 3)))
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            as_float_array([1.0, np.nan])
+        with pytest.raises(ValueError):
+            as_float_array([1.0, np.inf])
+
+    def test_enforces_min_length(self):
+        with pytest.raises(ValueError):
+            as_float_array([1.0], min_length=2)
+
+    def test_error_message_uses_name(self):
+        with pytest.raises(ValueError, match="my_series"):
+            as_float_array([np.nan], name="my_series")
+
+
+class TestScalarChecks:
+    def test_check_positive(self):
+        assert check_positive(2.5) == 2.5
+        for bad in (0.0, -1.0, np.nan, np.inf):
+            with pytest.raises(ValueError):
+                check_positive(bad)
+
+    def test_check_positive_int(self):
+        assert check_positive_int(3) == 3
+        assert check_positive_int(0, minimum=0) == 0
+        with pytest.raises(ValueError):
+            check_positive_int(2.5)
+        with pytest.raises(ValueError):
+            check_positive_int(0)
+
+    def test_check_period(self):
+        assert check_period(7) == 7
+        with pytest.raises(ValueError):
+            check_period(1)
+        with pytest.raises(ValueError):
+            check_period(10, series_length=10)
+
+    def test_check_probability(self):
+        assert check_probability(0.0) == 0.0
+        assert check_probability(1.0) == 1.0
+        for bad in (-0.1, 1.1, np.nan):
+            with pytest.raises(ValueError):
+                check_probability(bad)
+
+
+class TestSlidingWindowView:
+    def test_shapes_and_contents(self):
+        windows = sliding_window_view(np.arange(6.0), 3)
+        assert windows.shape == (4, 3)
+        np.testing.assert_allclose(windows[0], [0, 1, 2])
+        np.testing.assert_allclose(windows[-1], [3, 4, 5])
+
+    def test_window_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            sliding_window_view(np.arange(3.0), 5)
+
+    @given(st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=50))
+    @settings(max_examples=30, deadline=None)
+    def test_property_window_count(self, n, window):
+        values = np.arange(float(max(n, window)))
+        windows = sliding_window_view(values, window)
+        assert windows.shape == (values.size - window + 1, window)
