@@ -1,0 +1,145 @@
+"""Engine throughput: points/sec for 1, 100 and 1000 concurrent series.
+
+The multi-series engine exists so that the O(1) update can be ran on
+*every* monitored metric of a fleet.  This harness measures
+
+* the raw single-series OneShotSTL hot path (shift search enabled with the
+  paper's default ``shift_window = 20``, ``I = 8`` iterations) -- the
+  number to compare across commits when the kernel changes, and
+* :class:`~repro.streaming.MultiSeriesEngine` throughput while multiplexing
+  1, 100 and 1000 independent keyed series through batched ``ingest``.
+
+Reported throughput counts *online* points only; the per-series batch
+initialization phase runs untimed.  Invoke directly for a standalone run::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py [--smoke]
+
+``--smoke`` shrinks the fleet sizes and stream lengths to a seconds-long
+CI-friendly run.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.core import OneShotSTL
+from repro.streaming import MultiSeriesEngine
+
+from helpers import is_paper_scale, report
+
+PERIOD = 24
+INITIALIZATION = 4 * PERIOD
+
+
+def _series_values(length: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    time_axis = np.arange(length)
+    return (
+        np.sin(2 * np.pi * time_axis / PERIOD)
+        + 0.01 * time_axis
+        + rng.normal(0.0, 0.05, length)
+    )
+
+
+def _workload(smoke: bool):
+    """(fleet sizes, online points per series for each fleet size)."""
+    if smoke:
+        return [1, 100], {1: 400, 100: 20}
+    if is_paper_scale():
+        return [1, 100, 1000], {1: 10000, 100: 200, 1000: 50}
+    return [1, 100, 1000], {1: 2000, 100: 60, 1000: 12}
+
+
+def _bench_raw_single_series(online_points: int) -> dict:
+    """Single OneShotSTL, no engine: the kernel hot-path number."""
+    values = _series_values(INITIALIZATION + online_points + 50, seed=0)
+    model = OneShotSTL(PERIOD)  # paper defaults: I=8, shift_window=20
+    model.initialize(values[:INITIALIZATION])
+    timed = values[INITIALIZATION + 50 :]
+    for value in values[INITIALIZATION : INITIALIZATION + 50]:
+        model.update(float(value))
+    start = time.perf_counter()
+    for value in timed:
+        model.update(float(value))
+    elapsed = time.perf_counter() - start
+    return {
+        "config": "raw OneShotSTL",
+        "series": 1,
+        "online_points": timed.size,
+        "points_per_sec": timed.size / elapsed,
+        "us_per_point": elapsed / timed.size * 1e6,
+    }
+
+
+def _bench_engine_fleet(n_series: int, online_points: int) -> dict:
+    """Batched ingest across a keyed fleet; initialization untimed."""
+    length = INITIALIZATION + online_points
+    data = {
+        f"series-{index}": _series_values(length, seed=1000 + index)
+        for index in range(n_series)
+    }
+    engine = MultiSeriesEngine.for_oneshotstl(PERIOD, track_latency=False)
+    for position in range(INITIALIZATION):
+        engine.ingest([(key, values[position]) for key, values in data.items()])
+
+    batches = [
+        [(key, values[position]) for key, values in data.items()]
+        for position in range(INITIALIZATION, length)
+    ]
+    start = time.perf_counter()
+    for batch in batches:
+        engine.ingest(batch)
+    elapsed = time.perf_counter() - start
+
+    stats = engine.fleet_stats()
+    assert stats.series_live == n_series
+    total_points = n_series * online_points
+    return {
+        "config": "engine ingest",
+        "series": n_series,
+        "online_points": total_points,
+        "points_per_sec": total_points / elapsed,
+        "us_per_point": elapsed / total_points * 1e6,
+    }
+
+
+def _collect(smoke: bool = False) -> list[dict]:
+    fleet_sizes, points_per_series = _workload(smoke)
+    rows = [_bench_raw_single_series(points_per_series[1])]
+    for n_series in fleet_sizes:
+        rows.append(_bench_engine_fleet(n_series, points_per_series[n_series]))
+    return rows
+
+
+def test_engine_throughput(run_once):
+    rows = run_once(_collect)
+    report(
+        "engine_throughput",
+        "Engine throughput: points/sec vs concurrent series",
+        rows,
+    )
+    by_series = {
+        row["series"]: row for row in rows if row["config"] == "engine ingest"
+    }
+    raw = next(row for row in rows if row["config"] == "raw OneShotSTL")
+    # The engine must sustain the largest configured fleet...
+    largest = max(by_series)
+    assert by_series[largest]["points_per_sec"] > 0
+    # ...and its per-point bookkeeping overhead on a single series must stay
+    # a small factor over the raw kernel hot path.
+    assert by_series[1]["us_per_point"] < 3.0 * raw["us_per_point"]
+
+
+if __name__ == "__main__":
+    rows = _collect(smoke="--smoke" in sys.argv)
+    report(
+        "engine_throughput",
+        "Engine throughput: points/sec vs concurrent series",
+        rows,
+    )

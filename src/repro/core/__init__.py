@@ -19,7 +19,11 @@ from repro.core.joint_stl import JointSTL
 from repro.core.lambda_selection import DEFAULT_LAMBDA_GRID, select_lambda
 from repro.core.modified_joint_stl import ModifiedJointSTL
 from repro.core.nsigma import NSigma, NSigmaVerdict
-from repro.core.online_system import HALF_BANDWIDTH, point_contributions
+from repro.core.online_system import (
+    HALF_BANDWIDTH,
+    ContributionWorkspace,
+    point_contributions,
+)
 from repro.core.oneshotstl import OneShotSTL
 
 __all__ = [
@@ -31,5 +35,6 @@ __all__ = [
     "select_lambda",
     "DEFAULT_LAMBDA_GRID",
     "HALF_BANDWIDTH",
+    "ContributionWorkspace",
     "point_contributions",
 ]

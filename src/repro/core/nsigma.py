@@ -9,6 +9,15 @@ in the reproduction, exactly as in the paper:
   decomposed residual), and
 * inside OneShotSTL's seasonality-shift handling (Section 3.4), where an
   anomalous residual triggers the shift search.
+
+The running variance uses Welford's online algorithm rather than the
+textbook ``E[x^2] - E[x]^2`` identity: the latter catastrophically cancels
+for series with a large offset relative to their spread (for a metric
+hovering around 1e8 the two terms agree to ~16 digits, so their float64
+difference is mostly rounding noise and can even go negative), which makes
+the z-scores garbage exactly on the high-volume counters a monitoring
+fleet cares about.  Welford tracks the centered second moment directly and
+stays accurate at any offset.
 """
 
 from __future__ import annotations
@@ -47,8 +56,9 @@ class NSigma:
         self.threshold = check_positive(threshold, "threshold")
         self.minimum_std = check_positive(minimum_std, "minimum_std")
         self._count = 0
-        self._sum = 0.0
-        self._sum_squared = 0.0
+        self._mean = 0.0
+        # Sum of squared deviations from the running mean (Welford's M2).
+        self._m2 = 0.0
 
     # ------------------------------------------------------------------ API
 
@@ -60,16 +70,14 @@ class NSigma:
     @property
     def mean(self) -> float:
         """Running mean (0.0 before any value is seen)."""
-        if self._count == 0:
-            return 0.0
-        return self._sum / self._count
+        return self._mean
 
     @property
     def std(self) -> float:
         """Running (population) standard deviation."""
         if self._count == 0:
             return 0.0
-        variance = self._sum_squared / self._count - self.mean ** 2
+        variance = self._m2 / self._count
         return float(np.sqrt(max(variance, 0.0)))
 
     def score(self, value: float) -> NSigmaVerdict:
@@ -86,8 +94,9 @@ class NSigma:
         verdict = self.score(value)
         value = float(value)
         self._count += 1
-        self._sum += value
-        self._sum_squared += value * value
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
         return verdict
 
     def score_series(self, values) -> np.ndarray:
@@ -106,8 +115,8 @@ class NSigma:
         """Return an independent copy of the detector state."""
         clone = NSigma(self.threshold, self.minimum_std)
         clone._count = self._count
-        clone._sum = self._sum
-        clone._sum_squared = self._sum_squared
+        clone._mean = self._mean
+        clone._m2 = self._m2
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

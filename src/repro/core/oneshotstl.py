@@ -30,7 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.nsigma import NSigma
-from repro.core.online_system import HALF_BANDWIDTH, point_contributions
+from repro.core.online_system import HALF_BANDWIDTH, ContributionWorkspace
 from repro.decomposition.base import (
     DecompositionPoint,
     DecompositionResult,
@@ -177,6 +177,7 @@ class OneShotSTL(OnlineDecomposer):
             )
             for _ in range(self.iterations)
         ]
+        self._workspace = ContributionWorkspace(self.lambda1, self.lambda2)
         self._points_processed = 0
         self._initialized = True
         return result
@@ -189,9 +190,11 @@ class OneShotSTL(OnlineDecomposer):
         forecast -- the latest trend plus the seasonal buffer value of the
         current phase -- and then processed normally, so the model's phase
         book-keeping stays aligned with wall-clock time.  The returned point
-        carries the imputed value (its residual is zero by construction).
-        This addresses the "missing points" limitation called out in the
-        paper's conclusion.
+        carries the imputed value; its residual is *small* (the imputed
+        value is the model's own forecast) but not exactly zero, because the
+        IRLS solve still redistributes the imputed value between trend and
+        seasonality together with the smoothness terms.  This addresses the
+        "missing points" limitation called out in the paper's conclusion.
         """
         self._require_initialized()
         value = float(value)
@@ -201,13 +204,15 @@ class OneShotSTL(OnlineDecomposer):
                 + self._seasonal_buffer[self._global_index % self.period]
             )
 
-        snapshot = None
-        if self.shift_window > 0:
-            snapshot = [state.copy() for state in self._iterations_state]
-
-        trend_value, seasonal_value = self._advance(
-            self._iterations_state, value, 0
-        )
+        # Advance the real states directly.  Each solver keeps one O(1)
+        # undo level internally, so no deep snapshot is needed up front;
+        # the expensive state copies happen only on the rare points where
+        # the shift search below actually triggers.
+        states = self._iterations_state
+        previous_trends = [
+            (state.previous_trend, state.before_previous_trend) for state in states
+        ]
+        trend_value, seasonal_value = self._advance(states, value, 0)
         residual = value - trend_value - seasonal_value
         # The un-shifted residual is what the anomaly monitor sees: a genuine
         # anomaly (or a genuine seasonality shift) shows up here, before the
@@ -216,16 +221,28 @@ class OneShotSTL(OnlineDecomposer):
         chosen_shift = 0
 
         if self.shift_window > 0 and self._residual_monitor.score(residual).is_anomaly:
-            best = (abs(residual), self._iterations_state, trend_value, seasonal_value, chosen_shift)
-            for candidate in range(-self.shift_window, self.shift_window + 1):
-                if candidate == 0:
-                    continue
-                trial_states = [state.copy() for state in snapshot]
+            # Restore the pre-point state, then evaluate every candidate
+            # shift on copies.  Candidate 0 runs first and deterministically
+            # reproduces the advance above, so the strict-< comparison keeps
+            # the original tie-breaking: a non-zero shift is only chosen if
+            # it strictly reduces the absolute residual.
+            for state, (previous, before_previous) in zip(states, previous_trends):
+                state.solver.rollback()
+                state.previous_trend = previous
+                state.before_previous_trend = before_previous
+            best = None
+            candidates = [0] + [
+                candidate
+                for candidate in range(-self.shift_window, self.shift_window + 1)
+                if candidate != 0
+            ]
+            for candidate in candidates:
+                trial_states = [state.copy() for state in states]
                 trial_trend, trial_seasonal = self._advance(
                     trial_states, value, candidate
                 )
                 trial_residual = value - trial_trend - trial_seasonal
-                if abs(trial_residual) < best[0]:
+                if best is None or abs(trial_residual) < best[0]:
                     best = (
                         abs(trial_residual),
                         trial_states,
@@ -287,29 +304,29 @@ class OneShotSTL(OnlineDecomposer):
             self._seasonal_buffer[(self._global_index + shift) % self.period]
         )
         point_index = self._points_processed
+        workspace = self._workspace
+        epsilon = self.epsilon
         next_p, next_q = 1.0, 1.0
         trend_value = seasonal_value = 0.0
         for state in states:
-            updates, rhs_new = point_contributions(
-                point_index,
-                value,
-                anchor,
-                self.lambda1,
-                self.lambda2,
-                next_p,
-                next_q,
+            updates, rhs_new = workspace.fill(
+                point_index, value, anchor, next_p, next_q
             )
-            state.solver.extend(2, updates, rhs_new)
-            trend_value, seasonal_value = state.solver.tail_solution(2)
-            next_p = 0.5 / max(abs(trend_value - state.previous_trend), self.epsilon)
+            # The workspace emits the same statically valid banded pattern
+            # for every point, so per-entry index validation is skipped.
+            state.solver.extend(2, updates, rhs_new, check_indices=False)
+            tail = state.solver.tail_solution(2)
+            trend_value = float(tail[0])
+            seasonal_value = float(tail[1])
+            next_p = 0.5 / max(abs(trend_value - state.previous_trend), epsilon)
             next_q = 0.5 / max(
                 abs(
                     trend_value
                     - 2.0 * state.previous_trend
                     + state.before_previous_trend
                 ),
-                self.epsilon,
+                epsilon,
             )
             state.before_previous_trend = state.previous_trend
             state.previous_trend = trend_value
-        return float(trend_value), float(seasonal_value)
+        return trend_value, seasonal_value

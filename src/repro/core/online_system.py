@@ -19,18 +19,23 @@ terms touch only the newest variables and the trailing four indices of the
 previous system, which is what allows the O(1) incremental factorization.
 
 :func:`point_contributions` returns the coefficient updates and new
-right-hand-side entries of one point.  Both the exact Algorithm-2 reference
-(:class:`repro.core.modified_joint_stl.ModifiedJointSTL`) and the O(1)
-OneShotSTL implementation consume the *same* contributions, which is what
-makes the "OneShotSTL equals the reference to machine precision" test
-meaningful.
+right-hand-side entries of one point as a plain list of triples -- the
+readable reference form consumed by the exact Algorithm-2 implementation
+(:class:`repro.core.modified_joint_stl.ModifiedJointSTL`).
+:class:`ContributionWorkspace` produces the *same* contributions, but
+writes them into preallocated NumPy arrays so that the per-point hot path
+of OneShotSTL allocates no tuple lists; the test suite asserts the two
+forms agree entry for entry, which is what keeps the "OneShotSTL equals
+the reference to machine precision" test meaningful.
 """
 
 from __future__ import annotations
 
 from typing import List, Tuple
 
-__all__ = ["HALF_BANDWIDTH", "point_contributions"]
+import numpy as np
+
+__all__ = ["HALF_BANDWIDTH", "ContributionWorkspace", "point_contributions"]
 
 #: Half bandwidth of the interleaved online system (paper: banded matrix of
 #: total bandwidth 9).
@@ -111,3 +116,93 @@ def point_contributions(
             ]
         )
     return updates, rhs_new
+
+
+class ContributionWorkspace:
+    """Allocation-free array form of :func:`point_contributions`.
+
+    Once the online window holds at least three points, every new point adds
+    the same 13-entry pattern of coefficient updates whose positions are a
+    fixed offset from the point's trend variable and whose values depend
+    only on the observation, the seasonal anchor and the two IRLS weights.
+    The workspace exploits that: it keeps one set of preallocated index and
+    value arrays and rewrites them in place for every ``fill`` call, so the
+    steady-state hot path performs no list or tuple allocation at all.
+
+    ``fill`` returns ``((rows, columns, values), rhs)`` in exactly the shape
+    expected by the array fast path of
+    :meth:`repro.solvers.IncrementalBandedLDLT.extend`.  The returned arrays
+    are views into the workspace and are overwritten by the next ``fill``;
+    callers must consume them before filling again (the solver does).
+
+    The first two points of the window (which lack one or both trend
+    difference terms) fall back to the reference :func:`point_contributions`
+    -- a cold path that runs at most twice per stream.
+    """
+
+    #: row/column positions of the steady-state pattern, relative to the
+    #: point's trend variable index; values mirror point_contributions.
+    _ROW_OFFSETS = np.array([0, 1, 1, 1, 0, -2, 0, 0, -2, -4, 0, 0, -2], dtype=np.intp)
+    _COL_OFFSETS = np.array([0, 1, 0, 1, 0, -2, -2, 0, -2, -4, -2, -4, -4], dtype=np.intp)
+
+    def __init__(self, lambda1: float, lambda2: float):
+        self.lambda1 = float(lambda1)
+        self.lambda2 = float(lambda2)
+        self._rows = np.empty(13, dtype=np.intp)
+        self._columns = np.empty(13, dtype=np.intp)
+        self._values = np.empty(13)
+        # Fit + seasonal anchor entries are weight independent.
+        self._values[:4] = 1.0
+        self._rhs = np.empty(2)
+
+    def fill(
+        self,
+        point_index: int,
+        value: float,
+        anchor: float,
+        p_weight: float,
+        q_weight: float,
+    ):
+        """Write one point's contributions into the workspace arrays.
+
+        Returns ``((rows, columns, values), rhs)`` where the first element
+        feeds :meth:`IncrementalBandedLDLT.extend` directly.
+        """
+        if point_index < 2:
+            updates, rhs_new = point_contributions(
+                point_index,
+                value,
+                anchor,
+                self.lambda1,
+                self.lambda2,
+                p_weight,
+                q_weight,
+            )
+            rows, columns, values = zip(*updates)
+            return (
+                (
+                    np.array(rows, dtype=np.intp),
+                    np.array(columns, dtype=np.intp),
+                    np.array(values, dtype=float),
+                ),
+                np.array(rhs_new, dtype=float),
+            )
+        trend_index = 2 * point_index
+        np.add(self._ROW_OFFSETS, trend_index, out=self._rows)
+        np.add(self._COL_OFFSETS, trend_index, out=self._columns)
+        values = self._values
+        first_weight = self.lambda1 * p_weight
+        second_weight = self.lambda2 * q_weight
+        values[4] = first_weight
+        values[5] = first_weight
+        values[6] = -first_weight
+        values[7] = second_weight
+        values[8] = 4.0 * second_weight
+        values[9] = second_weight
+        values[10] = -2.0 * second_weight
+        values[11] = second_weight
+        values[12] = -2.0 * second_weight
+        rhs = self._rhs
+        rhs[0] = value
+        rhs[1] = value + anchor
+        return (self._rows, self._columns, values), rhs

@@ -9,26 +9,49 @@ positive-definite banded linear system ``A x = b`` in which
   half bandwidth), and
 * only the last few entries of the solution are required.
 
-Under these conditions the LDL^T factorization, the forward substitution,
-and the relevant tail of the backward substitution can all be updated in
-``O(w^2)`` time per append -- independent of the total system size.  This is
-exactly the observation behind the paper's OnlineDoolittle algorithm
-(Algorithm 4); this module implements it for an arbitrary half bandwidth
-and append size so that it can also be reused and tested on its own.
+Under these conditions the factorization work per append is ``O(w^2)`` --
+independent of the total system size -- which is exactly the observation
+behind the paper's OnlineDoolittle algorithm (Algorithm 4).
 
-Internally the solver keeps only ``O(w^2)`` state:
+The state kept here is the *Schur form* of that algorithm.  Once an index
+moves more than ``w`` positions away from the end it is finalized: no
+future append can touch it, so its entire influence on the rest of the
+system is summarized by the Schur-complement correction it leaves on the
+trailing block.  The solver therefore stores only the *corrected* trailing
+block ``M_trail`` (``w x w``) and right-hand side ``bp_trail`` (``w``): the
+raw trailing coefficients minus the accumulated correction of every
+finalized column.  In LDL^T terms these equal ``L_tail D_tail L_tail^T``
+and ``L_tail z_tail`` of the classic OnlineDoolittle state -- the two
+representations are algebraically identical, but the Schur form advances
+with one small dense elimination per append instead of re-deriving
+off-band factor columns.
 
-``A_trail``, ``b_trail``
-    The raw coefficients of the trailing ``w`` rows/columns that may still be
-    modified by future appends.
-``L_off``, ``D_prev``, ``z_prev``
-    The finalized factorization (off-band columns of ``L``, pivots of ``D``)
-    and forward-substituted right-hand side for the ``w`` indices *preceding*
-    the trailing block.  These never change again.
-``L_tail``, ``D_tail``, ``z_tail``
-    The factorization of the trailing block after the latest append, from
-    which the last solution entries are obtained by a short backward
-    substitution.
+Appending ``k`` variables extends the corrected block to ``(w + k)`` rows,
+applies the coefficient updates, and then eliminates the ``k`` oldest
+variables (they become finalized) in one elimination sweep.  The last
+``w`` entries of the full solution are recovered by solving the ``w x w``
+corrected system directly -- no entry outside the trailing block can
+influence them.
+
+The trailing block is at most ``2w`` wide (6x6 for the OneShotSTL system),
+far below the size where NumPy ufunc/BLAS dispatch pays for itself, so the
+per-append kernel keeps the block as plain Python floats and unrolls the
+arithmetic; NumPy appears only at the API boundary.  Callers in a
+per-point loop (OneShotSTL runs ``I`` of these solvers per observation)
+get two further conveniences:
+
+* :meth:`IncrementalBandedLDLT.extend` accepts, besides the classic
+  iterable of ``(row, column, value)`` triples, a tuple of three equal
+  length arrays ``(rows, columns, values)`` -- the shape produced by
+  :class:`repro.core.online_system.ContributionWorkspace` -- so the hot
+  path hands over one preallocated array bundle instead of a fresh list of
+  tuples per point.
+* :meth:`IncrementalBandedLDLT.rollback` undoes the most recent
+  :meth:`extend` in O(1) time.  Every extend rebinds (never mutates) the
+  ``O(w^2)`` state, so one level of undo is just a bundle of saved
+  references.  OneShotSTL's seasonality-shift search uses this to retry a
+  point with candidate shifts without paying for a deep snapshot on the
+  (overwhelmingly common) points where the search never triggers.
 
 For the first few appends (while the system is still smaller than a few
 bandwidths) the solver simply keeps the dense matrix and solves it exactly;
@@ -39,7 +62,8 @@ machine precision, which is verified by the test suite.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+import math
+from typing import Iterable, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -48,8 +72,11 @@ from repro.solvers.ldlt import ldlt_factor
 __all__ = ["IncrementalBandedLDLT"]
 
 #: entry of the ``updates`` argument of :meth:`IncrementalBandedLDLT.extend`:
-#: ``(row, column, value)`` with absolute indices, ``row >= column``.
+#: ``(row, column, value)`` with absolute indices.
 UpdateEntry = Tuple[int, int, float]
+
+#: array form of ``updates``: ``(rows, columns, values)`` of equal length.
+UpdateArrays = Tuple[np.ndarray, np.ndarray, np.ndarray]
 
 
 class IncrementalBandedLDLT:
@@ -85,14 +112,13 @@ class IncrementalBandedLDLT:
         self._incremental = False
 
         w = self.half_bandwidth
-        self._a_trail = np.zeros((w, w))
-        self._b_trail = np.zeros(w)
-        self._l_off = np.zeros((2 * w, w))
-        self._d_prev = np.zeros(w)
-        self._z_prev = np.zeros(w)
-        self._l_tail = np.zeros((w, w))
-        self._d_tail = np.zeros(w)
-        self._z_tail = np.zeros(w)
+        #: corrected trailing block (raw trailing coefficients minus the
+        #: Schur correction of every finalized column) and its rhs, stored
+        #: as plain Python floats for the scalar kernel.
+        self._m_trail: list[list[float]] = [[0.0] * w for _ in range(w)]
+        self._bp_trail: list[float] = [0.0] * w
+        #: saved pre-extend state references for :meth:`rollback`.
+        self._undo: tuple | None = None
 
     # ------------------------------------------------------------------ API
 
@@ -106,7 +132,8 @@ class IncrementalBandedLDLT:
 
         Copies are cheap (``O(w^2)`` memory) and are used by OneShotSTL's
         seasonality-shift search to evaluate candidate shifts without
-        committing their effect.
+        committing their effect.  The pending :meth:`rollback` level, if
+        any, is not carried over.
         """
         clone = IncrementalBandedLDLT(self.half_bandwidth, self.warmup_size)
         clone.size = self.size
@@ -117,21 +144,37 @@ class IncrementalBandedLDLT:
         else:
             clone._dense_matrix = None
             clone._dense_rhs = None
-        clone._a_trail = self._a_trail.copy()
-        clone._b_trail = self._b_trail.copy()
-        clone._l_off = self._l_off.copy()
-        clone._d_prev = self._d_prev.copy()
-        clone._z_prev = self._z_prev.copy()
-        clone._l_tail = self._l_tail.copy()
-        clone._d_tail = self._d_tail.copy()
-        clone._z_tail = self._z_tail.copy()
+        clone._m_trail = [row[:] for row in self._m_trail]
+        clone._bp_trail = self._bp_trail[:]
         return clone
+
+    def rollback(self) -> None:
+        """Undo the most recent :meth:`extend` in O(1) time.
+
+        Exactly one level of undo is kept: calling ``rollback()`` twice in a
+        row, or before any ``extend``, raises.  The restored state is
+        bit-identical to the pre-extend state (the extend path rebinds
+        rather than mutates the whole state, so restoring the saved
+        references is exact).
+        """
+        if self._undo is None:
+            raise ValueError("no extend to roll back (a single undo level is kept)")
+        (
+            self.size,
+            self._incremental,
+            self._dense_matrix,
+            self._dense_rhs,
+            self._m_trail,
+            self._bp_trail,
+        ) = self._undo
+        self._undo = None
 
     def extend(
         self,
         num_new: int,
-        updates: Iterable[UpdateEntry],
+        updates: Union[Iterable[UpdateEntry], UpdateArrays],
         rhs_new: Sequence[float],
+        check_indices: bool = True,
     ) -> None:
         """Append ``num_new`` variables and apply coefficient updates.
 
@@ -140,51 +183,60 @@ class IncrementalBandedLDLT:
         num_new:
             Number of appended variables (``1 <= num_new <= half_bandwidth``).
         updates:
-            Iterable of ``(row, column, value)`` triples with absolute
-            indices; ``value`` is *added* to ``A[row, column]`` (and to the
-            symmetric entry).  Both indices must lie within the trailing
-            ``half_bandwidth`` indices of the previous system or refer to the
-            newly appended variables, and ``|row - column|`` must not exceed
-            the half bandwidth.
+            Either an iterable of ``(row, column, value)`` triples, or -- the
+            array fast path -- a tuple of three equal-length 1-D NumPy
+            arrays ``(rows, columns, values)`` (recognized by the first
+            element being an ``ndarray``).  ``value`` is *added* to
+            ``A[row, column]`` (and to the symmetric entry).  Indices are
+            absolute; both must lie within the trailing ``half_bandwidth``
+            indices of the previous system or refer to the newly appended
+            variables, and ``|row - column|`` must not exceed the half
+            bandwidth.  The arrays of the fast path are consumed during the
+            call and may be reused by the caller afterwards.
         rhs_new:
             Right-hand-side values of the appended variables
             (length ``num_new``).  Existing right-hand-side entries cannot be
             modified.
+        check_indices:
+            Set to False to skip the per-entry index validation.  Only for
+            callers that guarantee the banded-update contract structurally
+            (the OneShotSTL hot path emits the same statically valid
+            pattern for every point); out-of-contract indices then raise
+            unspecific errors or corrupt the trailing block.
         """
         w = self.half_bandwidth
         if not 1 <= num_new <= w:
             raise ValueError(f"num_new must be in [1, {w}], got {num_new}")
-        rhs_new = np.asarray(rhs_new, dtype=float)
-        if rhs_new.shape != (num_new,):
+        # The array fast path is recognized by its first element being an
+        # ndarray -- a plain 3-tuple of (row, column, value) triples is a
+        # valid instance of the iterable-of-triples form and must not be
+        # transposed.
+        if (
+            isinstance(updates, tuple)
+            and len(updates) == 3
+            and isinstance(updates[0], np.ndarray)
+        ):
+            rows = updates[0].tolist()
+            columns = np.asarray(updates[1]).tolist()
+            values = np.asarray(updates[2]).tolist()
+            if not len(rows) == len(columns) == len(values):
+                raise ValueError(
+                    "updates must provide equal-length rows/columns/values"
+                )
+            entries = zip(rows, columns, values)
+        else:
+            entries = updates
+        if isinstance(rhs_new, np.ndarray):
+            rhs_list = rhs_new.tolist()
+        else:
+            rhs_list = [float(value) for value in rhs_new]
+        if len(rhs_list) != num_new:
             raise ValueError(f"rhs_new must have length {num_new}")
 
-        old_size = self.size
-        new_size = old_size + num_new
-        lowest_mutable = max(0, old_size - w)
-
-        normalized: list[UpdateEntry] = []
-        for row, column, value in updates:
-            row = int(row)
-            column = int(column)
-            if row < column:
-                row, column = column, row
-            if row >= new_size:
-                raise IndexError(f"update row {row} outside the extended system")
-            if column < lowest_mutable:
-                raise ValueError(
-                    f"update touches finalized index {column} "
-                    f"(allowed indices start at {lowest_mutable})"
-                )
-            if row - column > w:
-                raise ValueError(
-                    f"update ({row}, {column}) violates the half bandwidth {w}"
-                )
-            normalized.append((row, column, float(value)))
-
         if self._incremental:
-            self._extend_incremental(num_new, normalized, rhs_new)
+            self._extend_incremental(num_new, entries, rhs_list, check_indices)
         else:
-            self._extend_dense(num_new, normalized, rhs_new)
+            self._extend_dense(num_new, entries, rhs_list, check_indices)
             if self.size >= self.warmup_size:
                 self._switch_to_incremental()
 
@@ -217,30 +269,63 @@ class IncrementalBandedLDLT:
                 f"count ({count}) cannot exceed the half bandwidth ({w}) "
                 "in incremental mode"
             )
-        tail = np.zeros(w)
-        for local in range(w - 1, -1, -1):
-            value = self._z_tail[local] / self._d_tail[local]
-            for other in range(local + 1, w):
-                value -= self._l_tail[other, local] * tail[other]
-            tail[local] = value
-        return tail[w - count :]
+        # The corrected trailing system is exactly what the last w entries
+        # of the global solution satisfy: no finalized variable can reach
+        # them except through the correction already folded into M_trail.
+        matrix = [row[:] for row in self._m_trail]
+        rhs = self._bp_trail[:]
+        for k in range(w):
+            pivot = matrix[k][k]
+            if pivot == 0.0 or not math.isfinite(pivot):
+                raise ValueError(f"singular trailing system at pivot {k}")
+            pivot_row = matrix[k]
+            pivot_rhs = rhs[k]
+            for i in range(k + 1, w):
+                factor = matrix[i][k] / pivot
+                if factor != 0.0:
+                    row = matrix[i]
+                    for j in range(k + 1, w):
+                        row[j] -= factor * pivot_row[j]
+                    rhs[i] -= factor * pivot_rhs
+        solution = [0.0] * w
+        for i in range(w - 1, -1, -1):
+            accumulator = rhs[i]
+            row = matrix[i]
+            for j in range(i + 1, w):
+                accumulator -= row[j] * solution[j]
+            solution[i] = accumulator / row[i]
+        return np.array(solution[w - count :])
 
     # --------------------------------------------------------- dense warm-up
 
     def _extend_dense(
-        self, num_new: int, updates: list[UpdateEntry], rhs_new: np.ndarray
+        self, num_new: int, entries, rhs_list: list[float], check_indices: bool
     ) -> None:
+        w = self.half_bandwidth
         old_size = self.size
         new_size = old_size + num_new
+        lowest_mutable = max(0, old_size - w)
         matrix = np.zeros((new_size, new_size))
         matrix[:old_size, :old_size] = self._dense_matrix
         rhs = np.zeros(new_size)
         rhs[:old_size] = self._dense_rhs
-        rhs[old_size:] = rhs_new
-        for row, column, value in updates:
+        rhs[old_size:] = rhs_list
+        for row, column, value in entries:
+            if row < column:
+                row, column = column, row
+            if check_indices:
+                _check_entry(row, column, new_size, lowest_mutable, w)
             matrix[row, column] += value
             if row != column:
                 matrix[column, row] += value
+        self._undo = (
+            self.size,
+            self._incremental,
+            self._dense_matrix,
+            self._dense_rhs,
+            self._m_trail,
+            self._bp_trail,
+        )
         self._dense_matrix = matrix
         self._dense_rhs = rhs
         self.size = new_size
@@ -254,14 +339,12 @@ class IncrementalBandedLDLT:
         for k in range(n):
             z[k] -= np.dot(lower[k, :k], z[:k])
 
-        self._a_trail = self._dense_matrix[boundary:, boundary:].copy()
-        self._b_trail = self._dense_rhs[boundary:].copy()
-        self._l_off = lower[boundary - w : boundary + w, boundary - w : boundary].copy()
-        self._d_prev = diag[boundary - w : boundary].copy()
-        self._z_prev = z[boundary - w : boundary].copy()
-        self._l_tail = lower[boundary:, boundary:].copy()
-        self._d_tail = diag[boundary:].copy()
-        self._z_tail = z[boundary:].copy()
+        # Corrected trailing block: the part of the normal equations the
+        # tail actually sees, i.e. L_tail D_tail L_tail^T and L_tail z_tail.
+        tail_lower = lower[boundary:, boundary:]
+        tail_diag = diag[boundary:]
+        self._m_trail = ((tail_lower * tail_diag) @ tail_lower.T).tolist()
+        self._bp_trail = (tail_lower @ z[boundary:]).tolist()
 
         self._dense_matrix = None
         self._dense_rhs = None
@@ -270,123 +353,75 @@ class IncrementalBandedLDLT:
     # ------------------------------------------------------ incremental mode
 
     def _extend_incremental(
-        self, num_new: int, updates: list[UpdateEntry], rhs_new: np.ndarray
+        self, num_new: int, entries, rhs_list: list[float], check_indices: bool
     ) -> None:
         w = self.half_bandwidth
+        block = w + num_new
         old_size = self.size
         new_size = old_size + num_new
         old_boundary = old_size - w
-        block = w + num_new
 
-        # Extended trailing block over absolute indices
-        # [old_boundary, new_size): raw coefficients and right-hand side.
-        a_block = np.zeros((block, block))
-        a_block[:w, :w] = self._a_trail
-        b_block = np.zeros(block)
-        b_block[:w] = self._b_trail
-        b_block[w:] = rhs_new
-        for row, column, value in updates:
-            local_row = row - old_boundary
-            local_col = column - old_boundary
-            a_block[local_row, local_col] += value
-            if local_row != local_col:
-                a_block[local_col, local_row] += value
+        # Extended corrected block over absolute indices
+        # [old_boundary, new_size), as plain floats.
+        matrix = [row[:] + [0.0] * num_new for row in self._m_trail]
+        zero_row = [0.0] * block
+        for _ in range(num_new):
+            matrix.append(zero_row[:])
+        rhs = self._bp_trail + rhs_list
+        for row_index, column_index, value in entries:
+            if row_index < column_index:
+                row_index, column_index = column_index, row_index
+            if check_indices:
+                _check_entry(row_index, column_index, new_size, old_boundary, w)
+            local_row = row_index - old_boundary
+            local_column = column_index - old_boundary
+            matrix[local_row][local_column] += value
+            if local_row != local_column:
+                matrix[local_column][local_row] += value
 
-        # Factorize the trailing block, reusing the finalized columns that
-        # precede it (``L_off`` covers rows old_boundary - w .. old_boundary
-        # + w - 1 and columns old_boundary - w .. old_boundary - 1).
-        l_block = np.zeros((block, block))
-        d_block = np.zeros(block)
-        z_block = np.zeros(block)
-        for local in range(block):
-            absolute = old_boundary + local
-            band_start = absolute - w
-
-            pivot = a_block[local, local]
-            rhs_value = b_block[local]
-            # Contributions from finalized columns (absolute index < boundary).
-            if band_start < old_boundary:
-                for column in range(max(band_start, old_boundary - w), old_boundary):
-                    off_row = absolute - (old_boundary - w)
-                    off_col = column - (old_boundary - w)
-                    l_value = self._l_off[off_row, off_col]
-                    pivot -= (l_value ** 2) * self._d_prev[off_col]
-                    rhs_value -= l_value * self._z_prev[off_col]
-            # Contributions from trailing columns computed in this pass.
-            for column_local in range(max(0, band_start - old_boundary), local):
-                l_value = l_block[local, column_local]
-                pivot -= (l_value ** 2) * d_block[column_local]
-                rhs_value -= l_value * z_block[column_local]
-            if pivot == 0.0 or not np.isfinite(pivot):
+        # Eliminate the num_new oldest variables: they are finalized now, so
+        # fold their Schur-complement correction into the new trailing block.
+        for k in range(num_new):
+            pivot = matrix[k][k]
+            if pivot == 0.0 or not math.isfinite(pivot):
                 raise ValueError(
-                    f"zero or invalid pivot while appending at index {absolute}"
+                    f"zero or invalid pivot while finalizing index {old_boundary + k}"
                 )
-            d_block[local] = pivot
-            z_block[local] = rhs_value
-            l_block[local, local] = 1.0
+            pivot_row = matrix[k]
+            pivot_rhs = rhs[k]
+            for i in range(k + 1, block):
+                factor = matrix[i][k] / pivot
+                if factor != 0.0:
+                    row = matrix[i]
+                    for j in range(k + 1, block):
+                        row[j] -= factor * pivot_row[j]
+                    rhs[i] -= factor * pivot_rhs
 
-            for row_local in range(local + 1, min(local + w + 1, block)):
-                row_absolute = old_boundary + row_local
-                value = a_block[row_local, local]
-                row_band_start = row_absolute - w
-                if row_band_start < old_boundary:
-                    for column in range(
-                        max(row_band_start, old_boundary - w), old_boundary
-                    ):
-                        off_col = column - (old_boundary - w)
-                        value -= (
-                            self._l_off[row_absolute - (old_boundary - w), off_col]
-                            * self._d_prev[off_col]
-                            * self._l_off[absolute - (old_boundary - w), off_col]
-                        )
-                for column_local in range(
-                    max(0, row_band_start - old_boundary), local
-                ):
-                    value -= (
-                        l_block[row_local, column_local]
-                        * d_block[column_local]
-                        * l_block[local, column_local]
-                    )
-                l_block[row_local, local] = value / pivot
-
-        # Advance the finalized boundary by ``num_new`` and rebuild the
-        # O(w^2) state for the next append.
-        new_boundary = new_size - w
-        shift = num_new
-
-        new_a_trail = a_block[shift:, shift:].copy()
-        new_b_trail = b_block[shift:].copy()
-        new_d_prev = np.concatenate([self._d_prev[shift:], d_block[:shift]])
-        new_z_prev = np.concatenate([self._z_prev[shift:], z_block[:shift]])
-
-        new_l_off = np.zeros((2 * w, w))
-        for new_row in range(2 * w):
-            row_absolute = new_boundary - w + new_row
-            for new_col in range(w):
-                col_absolute = new_boundary - w + new_col
-                if row_absolute < col_absolute:
-                    continue
-                if row_absolute - col_absolute > w:
-                    continue
-                if col_absolute < old_boundary:
-                    old_row = row_absolute - (old_boundary - w)
-                    old_col = col_absolute - (old_boundary - w)
-                    if 0 <= old_row < 2 * w:
-                        new_l_off[new_row, new_col] = self._l_off[old_row, old_col]
-                    # rows beyond the old L_off window lie outside the band
-                    # of the old columns and are zero.
-                else:
-                    block_row = row_absolute - old_boundary
-                    block_col = col_absolute - old_boundary
-                    if block_row < block:
-                        new_l_off[new_row, new_col] = l_block[block_row, block_col]
-
-        self._a_trail = new_a_trail
-        self._b_trail = new_b_trail
-        self._d_prev = new_d_prev
-        self._z_prev = new_z_prev
-        self._l_off = new_l_off
-        self._l_tail = l_block[shift:, shift:].copy()
-        self._d_tail = d_block[shift:].copy()
-        self._z_tail = z_block[shift:].copy()
+        self._undo = (
+            self.size,
+            self._incremental,
+            self._dense_matrix,
+            self._dense_rhs,
+            self._m_trail,
+            self._bp_trail,
+        )
+        self._m_trail = [row[num_new:] for row in matrix[num_new:]]
+        self._bp_trail = rhs[num_new:]
         self.size = new_size
+
+
+def _check_entry(
+    row: int, column: int, new_size: int, lowest_mutable: int, half_bandwidth: int
+) -> None:
+    """Validate one (row >= column) coefficient update."""
+    if row >= new_size:
+        raise IndexError(f"update row {row} outside the extended system")
+    if column < lowest_mutable:
+        raise ValueError(
+            f"update touches finalized index {column} "
+            f"(allowed indices start at {lowest_mutable})"
+        )
+    if row - column > half_bandwidth:
+        raise ValueError(
+            f"update ({row}, {column}) violates the half bandwidth {half_bandwidth}"
+        )

@@ -1,13 +1,28 @@
-"""Streaming execution utilities: pipelines, buffers and latency measurement."""
+"""Streaming execution utilities: pipelines, engines, buffers and latency."""
 
 from repro.streaming.buffer import RingBuffer
-from repro.streaming.latency import LatencyReport, measure_update_latency
+from repro.streaming.engine import (
+    EngineRecord,
+    FleetStats,
+    MultiSeriesEngine,
+    SeriesStats,
+)
+from repro.streaming.latency import (
+    LatencyReport,
+    measure_update_latency,
+    summarize_latencies,
+)
 from repro.streaming.pipeline import StreamingPipeline, StreamRecord
 
 __all__ = [
+    "EngineRecord",
+    "FleetStats",
     "LatencyReport",
+    "MultiSeriesEngine",
     "RingBuffer",
+    "SeriesStats",
     "StreamRecord",
     "StreamingPipeline",
     "measure_update_latency",
+    "summarize_latencies",
 ]

@@ -1,0 +1,319 @@
+"""Multi-series streaming engine: one process, thousands of monitored metrics.
+
+The paper's pitch is that an O(1) online decomposition is cheap enough to
+run on *every* monitored metric.  :class:`MultiSeriesEngine` is the serving
+layer that makes that concrete: it multiplexes any number of independent
+keyed streams over the shared fast kernel, with
+
+* **batched ingest** -- ``ingest([(key, value), ...])`` routes a mixed
+  batch of observations to their per-key pipelines and returns the derived
+  records in input order;
+* **per-series lazy initialization** -- the first observation of an unseen
+  key creates its pipeline; values are buffered until the configured
+  initialization window is full, then the batch initialization phase runs
+  and the series goes live;
+* **checkpointing** -- :meth:`snapshot` captures the full engine state
+  (every pipeline, buffer and counter) as an in-memory, picklable
+  checkpoint and :meth:`restore` rewinds to it, so a monitoring service
+  can persist and resume mid-stream;
+* **fleet statistics** -- :meth:`fleet_stats` aggregates anomaly counts and
+  per-key update-latency percentiles (via
+  :func:`repro.streaming.latency.summarize_latencies`) across the fleet.
+
+Every series is an ordinary :class:`~repro.streaming.pipeline.StreamingPipeline`,
+so the engine's outputs are *identical* to running N independent pipelines
+by hand -- the test suite asserts this -- while amortizing the per-call
+overhead and centralizing bookkeeping.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.streaming.buffer import RingBuffer
+from repro.streaming.latency import LatencyReport, summarize_latencies
+from repro.streaming.pipeline import StreamingPipeline, StreamRecord
+from repro.utils import check_positive_int
+
+__all__ = ["EngineRecord", "FleetStats", "MultiSeriesEngine", "SeriesStats"]
+
+#: status of a series: buffering its initialization window, or streaming.
+WARMING = "warming"
+LIVE = "live"
+
+
+@dataclass(frozen=True)
+class EngineRecord:
+    """Outcome of ingesting one observation for one key.
+
+    ``record`` is ``None`` while the series is still warming (the value was
+    buffered for the initialization window); once the series is live it
+    carries the full per-point :class:`StreamRecord`.
+    """
+
+    key: Hashable
+    status: str
+    record: StreamRecord | None
+
+    @property
+    def is_anomaly(self) -> bool:
+        return self.record is not None and self.record.is_anomaly
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Aggregated statistics of a single keyed series."""
+
+    key: Hashable
+    status: str
+    points: int
+    anomalies: int
+    latency: LatencyReport | None
+
+
+@dataclass(frozen=True)
+class FleetStats:
+    """Aggregated statistics of the whole fleet."""
+
+    series_total: int
+    series_live: int
+    series_warming: int
+    points_total: int
+    anomalies_total: int
+    per_series: dict = field(default_factory=dict)
+
+
+class _SeriesState:
+    """Internal per-key record: pipeline, warmup buffer and counters."""
+
+    __slots__ = ("pipeline", "warmup", "live", "points", "anomalies", "latencies")
+
+    def __init__(self, pipeline: StreamingPipeline, latency_window: int):
+        self.pipeline = pipeline
+        self.warmup: list[float] = []
+        self.live = False
+        self.points = 0
+        self.anomalies = 0
+        self.latencies = RingBuffer(latency_window)
+
+
+class MultiSeriesEngine:
+    """A keyed fleet of online decomposition pipelines behind one ingest API.
+
+    Parameters
+    ----------
+    pipeline_factory:
+        Callable invoked with a series key the first time that key appears;
+        must return a *fresh* :class:`StreamingPipeline` (or any object with
+        the same ``initialize`` / ``process`` / ``forecast`` interface) for
+        that series.  Per-key configuration -- different periods, thresholds
+        or decomposers per metric class -- goes here.
+    initialization_length:
+        Number of leading observations buffered per series before its batch
+        initialization phase runs.  Should cover at least two seasonal
+        periods of the slowest configured decomposer (the paper uses about
+        four).  Warmup values must be finite (non-finite samples are
+        rejected with ``ValueError`` before they can poison the window);
+        once live, NaN gaps are handled by the decomposer's own
+        missing-value imputation.
+    latency_window:
+        Number of most recent per-point processing durations retained per
+        series for the latency percentiles in :meth:`fleet_stats`.
+    track_latency:
+        Set to False to skip the two clock reads per point (marginally
+        faster ingest, no latency percentiles in the stats).
+    """
+
+    def __init__(
+        self,
+        pipeline_factory: Callable[[Hashable], StreamingPipeline],
+        initialization_length: int,
+        latency_window: int = 1024,
+        track_latency: bool = True,
+    ):
+        self.pipeline_factory = pipeline_factory
+        self.initialization_length = check_positive_int(
+            initialization_length, "initialization_length", minimum=2
+        )
+        self.latency_window = check_positive_int(latency_window, "latency_window")
+        self.track_latency = bool(track_latency)
+        self._series: dict[Hashable, _SeriesState] = {}
+
+    # --------------------------------------------------------- construction
+
+    @classmethod
+    def for_oneshotstl(
+        cls,
+        period: int,
+        initialization_length: int | None = None,
+        anomaly_threshold: float = 5.0,
+        latency_window: int = 1024,
+        track_latency: bool = True,
+        **oneshotstl_parameters,
+    ) -> "MultiSeriesEngine":
+        """Engine whose every series runs a OneShotSTL pipeline.
+
+        ``initialization_length`` defaults to four periods, the paper's
+        initialization window.  Extra keyword arguments are forwarded to
+        :class:`repro.core.OneShotSTL`.
+        """
+        from repro.core.oneshotstl import OneShotSTL
+
+        if initialization_length is None:
+            initialization_length = 4 * int(period)
+
+        def factory(_key: Hashable) -> StreamingPipeline:
+            return StreamingPipeline(
+                OneShotSTL(period, **oneshotstl_parameters),
+                anomaly_threshold=anomaly_threshold,
+            )
+
+        return cls(
+            factory,
+            initialization_length,
+            latency_window=latency_window,
+            track_latency=track_latency,
+        )
+
+    # ------------------------------------------------------------ streaming
+
+    def process(self, key: Hashable, value: float) -> EngineRecord:
+        """Ingest one observation for one series.
+
+        Unknown keys lazily create their pipeline; while the initialization
+        window is filling the value is buffered and a ``warming`` record is
+        returned.  The observation that completes the window triggers the
+        batch initialization phase (still reported as ``warming``: its
+        decomposition is part of the initialization result, not an online
+        point).
+        """
+        state = self._series.get(key)
+        if state is None:
+            state = _SeriesState(self.pipeline_factory(key), self.latency_window)
+            self._series[key] = state
+
+        if not state.live:
+            value = float(value)
+            if not np.isfinite(value):
+                # Online NaN gaps are imputed by the decomposer, but the
+                # batch initialization phase needs finite values; reject the
+                # sample up front (without buffering it) instead of letting
+                # it poison the window and wedge the series.
+                raise ValueError(
+                    f"series {key!r} is still warming up and received a "
+                    f"non-finite value ({value}); warmup values must be finite"
+                )
+            state.warmup.append(value)
+            state.points += 1
+            if len(state.warmup) >= self.initialization_length:
+                window = np.asarray(state.warmup)
+                # Discard the window if initialization fails so the series
+                # starts a fresh one instead of retrying the same bad
+                # window (and failing) on every subsequent observation.
+                state.warmup = []
+                state.pipeline.initialize(window)
+                state.live = True
+            return EngineRecord(key=key, status=WARMING, record=None)
+
+        if self.track_latency:
+            start = time.perf_counter()
+            record = state.pipeline.process(value)
+            state.latencies.append(time.perf_counter() - start)
+        else:
+            record = state.pipeline.process(value)
+        state.points += 1
+        if record.is_anomaly:
+            state.anomalies += 1
+        return EngineRecord(key=key, status=LIVE, record=record)
+
+    def ingest(
+        self, batch: Iterable[Tuple[Hashable, float]]
+    ) -> list[EngineRecord]:
+        """Ingest a batch of ``(key, value)`` observations.
+
+        Observations are applied in input order (so multiple values for the
+        same key within one batch are processed oldest first) and the
+        derived records are returned in the same order.
+        """
+        process = self.process
+        return [process(key, value) for key, value in batch]
+
+    def forecast(self, key: Hashable, horizon: int) -> np.ndarray:
+        """Forecast ``horizon`` values ahead for one live series."""
+        state = self._series[key]
+        if not state.live:
+            raise RuntimeError(f"series {key!r} is still warming up")
+        return state.pipeline.forecast(horizon)
+
+    # ------------------------------------------------------------- fleet API
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._series
+
+    def keys(self) -> list:
+        """All known series keys, in first-seen order."""
+        return list(self._series)
+
+    def live_keys(self) -> list:
+        """Keys of the series that completed initialization."""
+        return [key for key, state in self._series.items() if state.live]
+
+    def series_stats(self, key: Hashable) -> SeriesStats:
+        """Statistics of a single series."""
+        state = self._series[key]
+        latencies = state.latencies.to_array()
+        return SeriesStats(
+            key=key,
+            status=LIVE if state.live else WARMING,
+            points=state.points,
+            anomalies=state.anomalies,
+            latency=(
+                summarize_latencies(latencies, method=f"series[{key!r}]")
+                if latencies.size
+                else None
+            ),
+        )
+
+    def fleet_stats(self) -> FleetStats:
+        """Aggregate statistics across every series in the fleet."""
+        per_series = {key: self.series_stats(key) for key in self._series}
+        live = sum(1 for stats in per_series.values() if stats.status == LIVE)
+        return FleetStats(
+            series_total=len(per_series),
+            series_live=live,
+            series_warming=len(per_series) - live,
+            points_total=sum(stats.points for stats in per_series.values()),
+            anomalies_total=sum(stats.anomalies for stats in per_series.values()),
+            per_series=per_series,
+        )
+
+    # --------------------------------------------------------- checkpointing
+
+    def snapshot(self):
+        """Capture the engine state as an in-memory checkpoint.
+
+        The checkpoint is an independent deep copy: later ingests do not
+        mutate it, and it can be restored any number of times (or pickled
+        to disk by the caller).
+        """
+        return copy.deepcopy(self._series)
+
+    def restore(self, checkpoint) -> None:
+        """Rewind the engine to a checkpoint taken with :meth:`snapshot`.
+
+        The checkpoint itself stays untouched (it is deep-copied in), so it
+        can be restored again later.
+        """
+        if not isinstance(checkpoint, dict) or not all(
+            isinstance(state, _SeriesState) for state in checkpoint.values()
+        ):
+            raise TypeError("checkpoint must come from MultiSeriesEngine.snapshot()")
+        self._series = copy.deepcopy(checkpoint)

@@ -1,4 +1,11 @@
-"""Per-point latency measurement of online decomposers (Figure 7 harness)."""
+"""Per-point latency measurement of online streaming components.
+
+:func:`measure_update_latency` is the Figure 7 harness: it times every
+``update`` of a single online decomposer.  :func:`summarize_latencies`
+condenses an arbitrary array of raw durations into the same
+:class:`LatencyReport`; the multi-series engine uses it to report per-key
+latency percentiles from the durations it records while ingesting.
+"""
 
 from __future__ import annotations
 
@@ -9,7 +16,7 @@ import numpy as np
 
 from repro.utils import as_float_array, check_positive_int
 
-__all__ = ["LatencyReport", "measure_update_latency"]
+__all__ = ["LatencyReport", "measure_update_latency", "summarize_latencies"]
 
 
 @dataclass(frozen=True)
@@ -37,6 +44,27 @@ class LatencyReport:
             "p99_us": self.p99_seconds * 1e6,
             "total_s": self.total_seconds,
         }
+
+
+def summarize_latencies(durations, method: str) -> LatencyReport:
+    """Build a :class:`LatencyReport` from an array of per-point durations.
+
+    Parameters
+    ----------
+    durations:
+        Observed per-point durations in seconds (at least one).
+    method:
+        Label used in the report.
+    """
+    durations = as_float_array(durations, "durations", min_length=1)
+    return LatencyReport(
+        method=method,
+        points=int(durations.size),
+        mean_seconds=float(durations.mean()),
+        median_seconds=float(np.median(durations)),
+        p99_seconds=float(np.percentile(durations, 99)),
+        total_seconds=float(durations.sum()),
+    )
 
 
 def measure_update_latency(
@@ -74,11 +102,4 @@ def measure_update_latency(
         start = time.perf_counter()
         decomposer.update(float(value))
         durations[index] = time.perf_counter() - start
-    return LatencyReport(
-        method=name or type(decomposer).__name__,
-        points=int(stream.size),
-        mean_seconds=float(durations.mean()),
-        median_seconds=float(np.median(durations)),
-        p99_seconds=float(np.percentile(durations, 99)),
-        total_seconds=float(durations.sum()),
-    )
+    return summarize_latencies(durations, name or type(decomposer).__name__)

@@ -22,7 +22,14 @@ __all__ = ["StreamRecord", "StreamingPipeline"]
 
 @dataclass(frozen=True)
 class StreamRecord:
-    """Everything the pipeline derives from one observation."""
+    """Everything the pipeline derives from one observation.
+
+    ``residual`` is the residual of the returned decomposition (for
+    OneShotSTL this is *after* any seasonality-shift correction), while
+    ``detection_residual`` is the residual the anomaly scorer consumed --
+    the pre-correction value when the decomposer exposes one, otherwise
+    identical to ``residual``.
+    """
 
     index: int
     value: float
@@ -31,6 +38,7 @@ class StreamRecord:
     residual: float
     anomaly_score: float
     is_anomaly: bool
+    detection_residual: float = 0.0
 
 
 class StreamingPipeline:
@@ -65,7 +73,16 @@ class StreamingPipeline:
         if not self._initialized:
             raise RuntimeError("initialize() must be called before process()")
         point = self.decomposer.update(float(value))
-        verdict = self.scorer.update(point.residual)
+        # Score the decomposer's *detection* residual when it exposes one:
+        # OneShotSTL's seasonality-shift search rewrites the residual of a
+        # point it re-explains as a shift, so scoring the post-correction
+        # residual would silently explain genuine spikes away (the model's
+        # own docs warn about exactly this).
+        detection_residual = getattr(self.decomposer, "last_detection_residual", None)
+        if detection_residual is None:
+            detection_residual = point.residual
+        detection_residual = float(detection_residual)
+        verdict = self.scorer.update(detection_residual)
         record = StreamRecord(
             index=self._index,
             value=point.value,
@@ -74,6 +91,7 @@ class StreamingPipeline:
             residual=point.residual,
             anomaly_score=verdict.score,
             is_anomaly=verdict.is_anomaly,
+            detection_residual=detection_residual,
         )
         self._index += 1
         return record

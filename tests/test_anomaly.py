@@ -84,6 +84,42 @@ class TestNSigma:
             assert verdict.score >= 0.0
             assert np.isfinite(verdict.score)
 
+    def test_large_offset_series_keeps_accurate_variance(self):
+        """Regression: sum_sq/n - mean**2 catastrophically cancelled at ~1e8.
+
+        For a series hovering around 1e8 with unit spread, the two terms of
+        the textbook variance identity agree to ~16 significant digits, so
+        their float64 difference was dominated by rounding (and could go
+        negative).  Welford's update must recover the true spread to high
+        relative accuracy regardless of the offset.
+        """
+        rng = np.random.default_rng(5)
+        values = 1e8 + rng.normal(0.0, 1.0, size=2000)
+        scorer = NSigma(threshold=5.0)
+        for value in values:
+            scorer.update(float(value))
+        assert scorer.mean == pytest.approx(values.mean(), rel=1e-12)
+        assert scorer.std == pytest.approx(values.std(), rel=1e-6)
+
+    def test_flags_spike_on_large_offset_series(self):
+        rng = np.random.default_rng(6)
+        scorer = NSigma(threshold=5.0)
+        for value in 1e8 + rng.normal(0.0, 1.0, size=500):
+            scorer.update(float(value))
+        verdict = scorer.score(1e8 + 10.0)
+        assert verdict.is_anomaly
+        assert verdict.score == pytest.approx(10.0, rel=0.2)
+
+    def test_copy_preserves_welford_state(self):
+        rng = np.random.default_rng(7)
+        scorer = NSigma()
+        for value in 1e8 + rng.normal(0.0, 1.0, size=100):
+            scorer.update(float(value))
+        clone = scorer.copy()
+        assert clone.mean == scorer.mean
+        assert clone.std == scorer.std
+        assert clone.count == scorer.count
+
 
 class TestNSigmaDetector:
     def test_detects_spike(self):

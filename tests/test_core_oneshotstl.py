@@ -5,7 +5,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import JointSTL, ModifiedJointSTL, OneShotSTL, point_contributions, select_lambda
+from repro.core import (
+    ContributionWorkspace,
+    JointSTL,
+    ModifiedJointSTL,
+    OneShotSTL,
+    point_contributions,
+    select_lambda,
+)
 from repro.decomposition import STL
 
 from tests.conftest import make_seasonal_series
@@ -35,6 +42,32 @@ class TestPointContributions:
     def test_rejects_negative_index(self):
         with pytest.raises(ValueError):
             point_contributions(-1, 1.0, 0.0, 1.0, 1.0, 1.0, 1.0)
+
+
+class TestContributionWorkspace:
+    """The preallocated array form must agree with the reference function."""
+
+    @pytest.mark.parametrize("point_index", [0, 1, 2, 3, 17])
+    def test_matches_point_contributions(self, point_index):
+        workspace = ContributionWorkspace(lambda1=2.0, lambda2=3.0)
+        reference_updates, reference_rhs = point_contributions(
+            point_index, 1.5, -0.25, 2.0, 3.0, 0.7, 1.9
+        )
+        (rows, columns, values), rhs = workspace.fill(
+            point_index, 1.5, -0.25, 0.7, 1.9
+        )
+        assert [
+            (int(row), int(column), float(value))
+            for row, column, value in zip(rows, columns, values)
+        ] == reference_updates
+        np.testing.assert_allclose(rhs, reference_rhs)
+
+    def test_steady_state_reuses_buffers(self):
+        workspace = ContributionWorkspace(1.0, 1.0)
+        (rows_a, _, values_a), _ = workspace.fill(5, 1.0, 0.0, 1.0, 1.0)
+        (rows_b, _, values_b), _ = workspace.fill(6, 2.0, 0.5, 3.0, 4.0)
+        assert rows_a is rows_b
+        assert values_a is values_b
 
 
 class TestJointSTL:
@@ -103,6 +136,111 @@ class TestOneShotSTLMatchesReference:
             assert actual.trend == pytest.approx(expected.trend, abs=1e-7)
             assert actual.seasonal == pytest.approx(expected.seasonal, abs=1e-7)
             assert actual.residual == pytest.approx(expected.residual, abs=1e-7)
+
+    def test_exact_match_with_shift_search_armed(self):
+        """With the search enabled but never triggering, outputs stay exact.
+
+        This exercises the lazy-snapshot hot path: every point runs through
+        the solvers' one-level undo machinery with the search armed, and the
+        stream must still equal the reference to machine precision.
+        """
+        data = make_seasonal_series(24 * 7, 24, seed=13, noise=0.05)
+        values = data["values"]
+        init_length = 24 * 4
+        reference = ModifiedJointSTL(24, iterations=4)
+        fast = OneShotSTL(24, iterations=4, shift_window=20, shift_threshold=50.0)
+        reference.initialize(values[:init_length])
+        fast.initialize(values[:init_length])
+        for value in values[init_length:]:
+            expected = reference.update(float(value))
+            actual = fast.update(float(value))
+            assert actual.trend == pytest.approx(expected.trend, abs=1e-7)
+            assert actual.seasonal == pytest.approx(expected.seasonal, abs=1e-7)
+            assert actual.residual == pytest.approx(expected.residual, abs=1e-7)
+        assert fast.current_shift == 0
+
+    @staticmethod
+    def _eager_snapshot_update(model, value):
+        """Reference semantics of OneShotSTL.update with *eager* snapshots.
+
+        This replicates, on top of the model's own primitives, the original
+        formulation of the shift search: deep-copy every iteration state
+        before the point is processed, and evaluate candidate shifts against
+        those copies.  The production update takes the snapshot lazily (via
+        solver rollback) only when the search triggers; both formulations
+        must emit bit-identical points, which is what the test below pins
+        down -- including through triggers that commit a non-zero shift.
+        """
+        value = float(value)
+        snapshot = [state.copy() for state in model._iterations_state]
+        trend, seasonal = model._advance(model._iterations_state, value, 0)
+        residual = value - trend - seasonal
+        model._last_detection_residual = residual
+        chosen_shift = 0
+        if model.shift_window > 0 and model._residual_monitor.score(residual).is_anomaly:
+            best = (abs(residual), model._iterations_state, trend, seasonal, 0)
+            for candidate in range(-model.shift_window, model.shift_window + 1):
+                if candidate == 0:
+                    continue
+                trial_states = [state.copy() for state in snapshot]
+                trial_trend, trial_seasonal = model._advance(
+                    trial_states, value, candidate
+                )
+                trial_residual = value - trial_trend - trial_seasonal
+                if abs(trial_residual) < best[0]:
+                    best = (
+                        abs(trial_residual),
+                        trial_states,
+                        trial_trend,
+                        trial_seasonal,
+                        candidate,
+                    )
+            _, chosen_states, trend, seasonal, chosen_shift = best
+            model._iterations_state = chosen_states
+            residual = value - trend - seasonal
+            if chosen_shift != 0:
+                model._last_applied_shift = chosen_shift
+        model._residual_monitor.update(model._last_detection_residual)
+        position = (model._global_index + chosen_shift) % model.period
+        model._seasonal_buffer[position] = seasonal
+        model._global_index += 1
+        model._points_processed += 1
+        model._last_trend = trend
+        return trend, seasonal, residual
+
+    def test_lazy_snapshot_matches_eager_snapshot_through_triggers(self):
+        """The rollback-based search must equal eager per-point snapshots.
+
+        Runs a stream with a genuine seasonality shift (the search triggers
+        and commits non-zero shifts) plus an additive spike (the search
+        triggers and typically keeps shift 0) through the production update
+        and through an eager-snapshot twin; every point must agree exactly.
+        """
+        period = 30
+        cycles = 10
+        time = np.arange(period * cycles)
+        values = np.sin(2 * np.pi * time / period)
+        shift_start = period * 7
+        values[shift_start:] = np.sin(2 * np.pi * (time[shift_start:] + 8) / period)
+        values[period * 6 + 11] += 4.0  # spike well before the phase shift
+        init_length = period * 4
+
+        production = OneShotSTL(period, iterations=3, shift_window=12, shift_threshold=3.0)
+        eager = OneShotSTL(period, iterations=3, shift_window=12, shift_threshold=3.0)
+        production.initialize(values[:init_length])
+        eager.initialize(values[:init_length])
+
+        for value in values[init_length:]:
+            point = production.update(float(value))
+            trend, seasonal, residual = self._eager_snapshot_update(eager, value)
+            assert point.trend == trend
+            assert point.seasonal == seasonal
+            assert point.residual == residual
+        # The scenario must actually have exercised the non-zero-shift path.
+        assert production.current_shift != 0
+        np.testing.assert_array_equal(
+            production.seasonal_buffer, eager.seasonal_buffer
+        )
 
     def test_match_with_trend_break(self):
         data = make_seasonal_series(

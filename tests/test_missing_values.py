@@ -25,6 +25,7 @@ class TestMissingValueHandling:
         model.initialize(values[: 4 * period])
 
         gap = range(6 * period, 6 * period + 5)
+        gap_residuals = []
         for index in range(4 * period, 8 * period):
             value = np.nan if index in gap else float(values[index])
             point = model.update(value)
@@ -36,6 +37,12 @@ class TestMissingValueHandling:
                 # and is close to the true underlying signal.
                 assert point.residual == pytest.approx(0.0, abs=1e-2)
                 assert abs(point.value - values[index]) < 0.5
+                gap_residuals.append(point.residual)
+        # The imputed value is the model's own one-step forecast, but its
+        # residual is *not* exactly zero: the IRLS solve still redistributes
+        # the imputed value between trend and seasonality together with the
+        # smoothness terms (the docs used to claim "zero by construction").
+        assert any(residual != 0.0 for residual in gap_residuals)
 
     def test_phase_alignment_is_preserved_across_a_gap(self):
         data = self._stream(seed=4)

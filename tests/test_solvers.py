@@ -258,3 +258,148 @@ class TestIncrementalBandedLDLT:
             reference.tail_solution(count),
             atol=1e-7,
         )
+
+
+def as_update_arrays(updates):
+    rows, columns, values = zip(*updates)
+    return (
+        np.array(rows, dtype=np.intp),
+        np.array(columns, dtype=np.intp),
+        np.array(values, dtype=float),
+    )
+
+
+class TestArrayFastPath:
+    @pytest.mark.parametrize("check_indices", [True, False])
+    def test_matches_triple_list_path(self, check_indices):
+        rng = np.random.default_rng(11)
+        from_triples = IncrementalBandedLDLT(4)
+        from_arrays = IncrementalBandedLDLT(4)
+        for _ in range(30):
+            updates, rhs_new = _random_growth_step(rng, from_triples.size, 2, 4)
+            from_triples.extend(2, updates, rhs_new)
+            from_arrays.extend(
+                2, as_update_arrays(updates), np.asarray(rhs_new), check_indices
+            )
+            count = min(4, from_triples.size)
+            np.testing.assert_allclose(
+                from_arrays.tail_solution(count),
+                from_triples.tail_solution(count),
+                atol=1e-10,
+            )
+
+    def test_array_input_validated_like_triples(self):
+        solver = IncrementalBandedLDLT(2)
+        solver.extend(2, as_update_arrays([(0, 0, 5.0), (1, 1, 5.0)]), [1.0, 1.0])
+        with pytest.raises(ValueError):
+            solver.extend(
+                2,
+                as_update_arrays([(2, 2, 5.0), (3, 3, 5.0), (3, 0, 1.0)]),
+                [1.0, 1.0],
+            )
+
+    def test_rejects_mismatched_array_lengths(self):
+        solver = IncrementalBandedLDLT(2)
+        with pytest.raises(ValueError):
+            solver.extend(
+                1,
+                (np.array([0, 0]), np.array([0]), np.array([1.0])),
+                [1.0],
+            )
+
+    def test_tuple_of_three_triples_is_not_transposed(self):
+        """Regression: a 3-tuple of triples is the triples form, not arrays."""
+        as_list = IncrementalBandedLDLT(2)
+        as_tuple = IncrementalBandedLDLT(2)
+        triples = [(0, 0, 5.0), (1, 1, 5.0), (1, 0, 1.0)]
+        as_list.extend(2, triples, [1.0, 2.0])
+        as_tuple.extend(2, tuple(triples), [1.0, 2.0])
+        np.testing.assert_array_equal(
+            as_tuple.tail_solution(2), as_list.tail_solution(2)
+        )
+
+    def test_input_arrays_are_not_retained(self):
+        """The caller may reuse the update arrays after extend returns."""
+        rng = np.random.default_rng(12)
+        solver = IncrementalBandedLDLT(4)
+        reference = DenseReference()
+        for _ in range(20):
+            updates, rhs_new = _random_growth_step(rng, solver.size, 2, 4)
+            arrays = as_update_arrays(updates)
+            solver.extend(2, arrays, rhs_new)
+            reference.extend(2, updates, rhs_new)
+            for array in arrays:
+                array.fill(-1)  # scribble over the shared buffers
+        np.testing.assert_allclose(
+            solver.tail_solution(4), reference.tail_solution(4), atol=1e-8
+        )
+
+
+class TestRollback:
+    def test_rollback_restores_previous_solution(self):
+        rng = np.random.default_rng(21)
+        solver = IncrementalBandedLDLT(4)
+        for _ in range(20):
+            updates, rhs_new = _random_growth_step(rng, solver.size, 2, 4)
+            solver.extend(2, updates, rhs_new)
+        before_tail = solver.tail_solution(4).copy()
+        before_size = solver.size
+        updates, rhs_new = _random_growth_step(rng, solver.size, 2, 4)
+        solver.extend(2, updates, rhs_new)
+        solver.rollback()
+        assert solver.size == before_size
+        np.testing.assert_allclose(solver.tail_solution(4), before_tail)
+
+    def test_reextend_after_rollback_matches_straight_line(self):
+        rng = np.random.default_rng(22)
+        straight = IncrementalBandedLDLT(4)
+        replayed = IncrementalBandedLDLT(4)
+        steps = [
+            _random_growth_step(rng, 2 * index, 2, 4) for index in range(25)
+        ]
+        for updates, rhs_new in steps:
+            straight.extend(2, updates, rhs_new)
+            replayed.extend(2, updates, rhs_new)
+            replayed.rollback()
+            replayed.extend(2, updates, rhs_new)
+            count = min(4, straight.size)
+            np.testing.assert_allclose(
+                replayed.tail_solution(count), straight.tail_solution(count)
+            )
+
+    def test_rollback_across_the_incremental_switch(self):
+        rng = np.random.default_rng(23)
+        solver = IncrementalBandedLDLT(2)  # warmup at size 6
+        for _ in range(2):
+            updates, rhs_new = _random_growth_step(rng, solver.size, 2, 2)
+            solver.extend(2, updates, rhs_new)
+        assert not solver.is_incremental
+        before_tail = solver.tail_solution(2).copy()
+        updates, rhs_new = _random_growth_step(rng, solver.size, 2, 2)
+        solver.extend(2, updates, rhs_new)
+        assert solver.is_incremental
+        solver.rollback()
+        assert not solver.is_incremental
+        np.testing.assert_allclose(solver.tail_solution(2), before_tail)
+        solver.extend(2, updates, rhs_new)
+        assert solver.is_incremental
+
+    def test_single_undo_level(self):
+        solver = IncrementalBandedLDLT(2)
+        with pytest.raises(ValueError):
+            solver.rollback()
+        solver.extend(2, [(0, 0, 5.0), (1, 1, 5.0)], [1.0, 1.0])
+        solver.rollback()
+        with pytest.raises(ValueError):
+            solver.rollback()
+
+    def test_copy_does_not_share_rollback_state(self):
+        rng = np.random.default_rng(24)
+        solver = IncrementalBandedLDLT(4)
+        for _ in range(15):
+            updates, rhs_new = _random_growth_step(rng, solver.size, 2, 4)
+            solver.extend(2, updates, rhs_new)
+        clone = solver.copy()
+        with pytest.raises(ValueError):
+            clone.rollback()  # pending undo level is not carried over
+        solver.rollback()  # the original still has its own undo level

@@ -5,9 +5,48 @@ import pytest
 
 from repro.core import OneShotSTL
 from repro.decomposition import OnlineSTL
-from repro.streaming import RingBuffer, StreamingPipeline, measure_update_latency
+from repro.decomposition.base import (
+    DecompositionPoint,
+    DecompositionResult,
+    OnlineDecomposer,
+)
+from repro.streaming import (
+    RingBuffer,
+    StreamingPipeline,
+    measure_update_latency,
+    summarize_latencies,
+)
 
 from tests.conftest import make_seasonal_series
+
+
+class _ShiftCorrectingStub(OnlineDecomposer):
+    """Decomposer that 'explains away' every point as seasonality.
+
+    It mimics the failure mode of a shift-correcting decomposer: the
+    returned residual is always ~0 (the point was re-explained), while the
+    pre-correction detection residual carries the true deviation.
+    """
+
+    period = 4
+
+    def initialize(self, values) -> DecompositionResult:
+        values = np.asarray(values, dtype=float)
+        self.last_detection_residual = 0.0
+        return DecompositionResult(
+            observed=values,
+            trend=values.copy(),
+            seasonal=np.zeros_like(values),
+            residual=np.zeros_like(values),
+            period=self.period,
+        )
+
+    def update(self, value: float) -> DecompositionPoint:
+        value = float(value)
+        self.last_detection_residual = value
+        return DecompositionPoint(
+            value=value, trend=0.0, seasonal=value, residual=0.0
+        )
 
 
 class TestRingBuffer:
@@ -68,6 +107,46 @@ class TestStreamingPipeline:
             record.trend + record.seasonal + record.residual
         )
 
+    def test_scores_detection_residual_when_exposed(self):
+        """Regression: scoring point.residual let shift-corrected spikes pass.
+
+        The stub zeroes every returned residual (as a shift search does for
+        a point it re-explains) but exposes the true deviation through
+        ``last_detection_residual``.  The pipeline must score the latter --
+        with the old behaviour the spike below would be invisible.
+        """
+        pipeline = StreamingPipeline(_ShiftCorrectingStub(), anomaly_threshold=4.0)
+        rng = np.random.default_rng(0)
+        pipeline.initialize(np.zeros(8))
+        for value in rng.normal(0.0, 1.0, size=200):
+            pipeline.process(float(value))
+        record = pipeline.process(50.0)
+        assert record.detection_residual == pytest.approx(50.0)
+        assert record.residual == 0.0
+        assert record.is_anomaly
+        assert record.anomaly_score > 4.0
+
+    def test_detection_residual_defaults_to_point_residual(self):
+        data = make_seasonal_series(24 * 8, 24, seed=14)
+        pipeline = StreamingPipeline(OnlineSTL(24))  # no detection residual
+        pipeline.initialize(data["values"][: 24 * 6])
+        record = pipeline.process(float(data["values"][24 * 6]))
+        assert record.detection_residual == record.residual
+
+    def test_pipeline_flags_spike_with_shift_search_enabled(self):
+        """A genuine spike must be flagged even when the shift search runs."""
+        data = make_seasonal_series(24 * 10, 24, seed=15, noise=0.05)
+        values = data["values"].copy()
+        spike_index = 24 * 8
+        values[spike_index] += 10.0
+        pipeline = StreamingPipeline(
+            OneShotSTL(24, shift_window=20), anomaly_threshold=5.0
+        )
+        pipeline.initialize(values[: 24 * 6])
+        records = pipeline.process_many(values[24 * 6 :])
+        flagged = [record.index for record in records if record.is_anomaly]
+        assert any(abs(index - spike_index) <= 1 for index in flagged)
+
 
 class TestLatencyHarness:
     def test_latency_report_fields(self):
@@ -84,3 +163,16 @@ class TestLatencyHarness:
         row = report.as_row()
         assert set(row) == {"method", "points", "mean_us", "median_us", "p99_us", "total_s"}
         assert report.mean_microseconds == pytest.approx(report.mean_seconds * 1e6)
+
+    def test_summarize_latencies(self):
+        durations = np.array([1e-4, 2e-4, 3e-4, 4e-4])
+        report = summarize_latencies(durations, "probe")
+        assert report.method == "probe"
+        assert report.points == 4
+        assert report.mean_seconds == pytest.approx(2.5e-4)
+        assert report.total_seconds == pytest.approx(1e-3)
+        assert report.p99_seconds <= 4e-4
+
+    def test_summarize_latencies_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize_latencies(np.array([]), "probe")

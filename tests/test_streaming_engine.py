@@ -1,0 +1,260 @@
+"""Tests for the multi-series streaming engine."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import OneShotSTL
+from repro.decomposition import OnlineSTL
+from repro.streaming import MultiSeriesEngine, StreamingPipeline
+
+from tests.conftest import make_seasonal_series
+
+PERIOD = 24
+INIT = 4 * PERIOD
+
+
+def make_fleet_data(n_series, length=PERIOD * 8):
+    return {
+        f"host-{index}": make_seasonal_series(length, PERIOD, seed=100 + index)[
+            "values"
+        ]
+        for index in range(n_series)
+    }
+
+
+def interleaved_batches(data):
+    """Yield one batch per timestamp, covering every key."""
+    length = len(next(iter(data.values())))
+    for position in range(length):
+        yield [(key, values[position]) for key, values in data.items()]
+
+
+class TestLazyInitialization:
+    def test_warming_then_live(self):
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        values = make_seasonal_series(PERIOD * 6, PERIOD, seed=3)["values"]
+        statuses = [engine.process("m", float(value)).status for value in values]
+        assert statuses[:INIT] == ["warming"] * INIT
+        assert statuses[INIT:] == ["live"] * (values.size - INIT)
+        assert engine.live_keys() == ["m"]
+
+    def test_warming_records_carry_no_payload(self):
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        record = engine.process("m", 1.0)
+        assert record.record is None
+        assert not record.is_anomaly
+
+    def test_unknown_key_creates_series_lazily(self):
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        assert len(engine) == 0
+        engine.process("a", 0.0)
+        engine.process("b", 0.0)
+        assert len(engine) == 2
+        assert "a" in engine and "b" in engine
+        assert engine.keys() == ["a", "b"]
+
+    def test_forecast_requires_live_series(self):
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        engine.process("m", 1.0)
+        with pytest.raises(RuntimeError):
+            engine.forecast("m", 4)
+        with pytest.raises(KeyError):
+            engine.forecast("missing", 4)
+
+    def test_nan_during_warmup_is_rejected_without_wedging_the_series(self):
+        """Regression: a NaN warmup sample used to poison the window forever.
+
+        The non-finite value must be rejected up front (not buffered), and
+        the series must still be able to warm up and go live on the
+        remaining finite values.
+        """
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        values = make_seasonal_series(PERIOD * 5, PERIOD, seed=21)["values"]
+        engine.process("m", float(values[0]))
+        with pytest.raises(ValueError, match="warming up.*non-finite"):
+            engine.process("m", float("nan"))
+        # The series is not wedged: finite values keep filling the window...
+        statuses = [
+            engine.process("m", float(value)).status for value in values[1:]
+        ]
+        assert statuses[-1] == "live"
+        # ...and the rejected sample was never counted.
+        assert engine.series_stats("m").points == values.size
+
+    def test_nan_while_live_is_imputed_not_rejected(self):
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        values = make_seasonal_series(PERIOD * 5, PERIOD, seed=22)["values"]
+        for value in values:
+            engine.process("m", float(value))
+        record = engine.process("m", float("nan"))
+        assert record.status == "live"
+        assert np.isfinite(record.record.value)
+
+
+class TestBatchedIngestEquivalence:
+    def test_matches_independent_pipelines(self):
+        """Interleaved batched ingest must equal N hand-run pipelines exactly."""
+        data = make_fleet_data(4)
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        engine_records = {key: [] for key in data}
+        for batch in interleaved_batches(data):
+            for record in engine.ingest(batch):
+                if record.status == "live":
+                    engine_records[record.key].append(record.record)
+
+        for key, values in data.items():
+            pipeline = StreamingPipeline(OneShotSTL(PERIOD, shift_window=0))
+            pipeline.initialize(values[:INIT])
+            expected = pipeline.process_many(values[INIT:])
+            assert engine_records[key] == expected
+
+    def test_matches_with_shift_search_enabled(self):
+        data = make_fleet_data(3, length=PERIOD * 7)
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=10)
+        engine_records = {key: [] for key in data}
+        for batch in interleaved_batches(data):
+            for record in engine.ingest(batch):
+                if record.status == "live":
+                    engine_records[record.key].append(record.record)
+        for key, values in data.items():
+            pipeline = StreamingPipeline(OneShotSTL(PERIOD, shift_window=10))
+            pipeline.initialize(values[:INIT])
+            assert engine_records[key] == pipeline.process_many(values[INIT:])
+
+    def test_ingest_preserves_input_order(self):
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        batch = [("a", 1.0), ("b", 2.0), ("a", 3.0)]
+        records = engine.ingest(batch)
+        assert [record.key for record in records] == ["a", "b", "a"]
+        assert engine.series_stats("a").points == 2
+        assert engine.series_stats("b").points == 1
+
+    def test_heterogeneous_pipeline_factory(self):
+        """Per-key configuration flows through the factory."""
+
+        def factory(key):
+            if key == "slow":
+                return StreamingPipeline(OnlineSTL(PERIOD))
+            return StreamingPipeline(OneShotSTL(PERIOD, shift_window=0))
+
+        engine = MultiSeriesEngine(factory, initialization_length=INIT)
+        data = make_fleet_data(1)["host-0"]
+        for value in data:
+            engine.process("slow", float(value))
+            engine.process("fast", float(value))
+        assert type(engine._series["slow"].pipeline.decomposer).__name__ == "OnlineSTL"
+        assert type(engine._series["fast"].pipeline.decomposer).__name__ == "OneShotSTL"
+
+
+class TestCheckpointing:
+    def test_snapshot_restore_is_deterministic(self):
+        data = make_fleet_data(3)
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        batches = list(interleaved_batches(data))
+        for batch in batches[: PERIOD * 6]:
+            engine.ingest(batch)
+
+        checkpoint = engine.snapshot()
+        first_run = [engine.ingest(batch) for batch in batches[PERIOD * 6 :]]
+        engine.restore(checkpoint)
+        second_run = [engine.ingest(batch) for batch in batches[PERIOD * 6 :]]
+        for first, second in zip(first_run, second_run):
+            assert [r.record for r in first] == [r.record for r in second]
+
+    def test_snapshot_is_isolated_from_later_ingest(self):
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        values = make_seasonal_series(PERIOD * 6, PERIOD, seed=5)["values"]
+        for value in values:
+            engine.process("m", float(value))
+        checkpoint = engine.snapshot()
+        points_before = engine.series_stats("m").points
+        engine.process("m", 1.0)
+        engine.restore(checkpoint)
+        assert engine.series_stats("m").points == points_before
+
+    def test_checkpoint_round_trips_through_pickle(self):
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        values = make_seasonal_series(PERIOD * 5, PERIOD, seed=6)["values"]
+        for value in values:
+            engine.process("m", float(value))
+        blob = pickle.dumps(engine.snapshot())
+        record_direct = engine.process("m", float(values[-1]))
+
+        fresh = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        fresh.restore(pickle.loads(blob))
+        record_restored = fresh.process("m", float(values[-1]))
+        assert record_direct.record == record_restored.record
+
+    def test_restore_rejects_foreign_objects(self):
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        with pytest.raises(TypeError):
+            engine.restore({"m": "not-a-series-state"})
+
+
+class TestFleetStats:
+    def test_counts_and_anomalies(self):
+        data = make_fleet_data(2)
+        spiked = dict(data)
+        spiked["host-0"] = data["host-0"].copy()
+        spiked["host-0"][PERIOD * 6] += 15.0
+
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        for batch in interleaved_batches(spiked):
+            engine.ingest(batch)
+        stats = engine.fleet_stats()
+        assert stats.series_total == 2
+        assert stats.series_live == 2
+        assert stats.series_warming == 0
+        assert stats.points_total == sum(len(v) for v in spiked.values())
+        assert stats.anomalies_total >= 1
+        assert stats.per_series["host-0"].anomalies >= 1
+        assert stats.per_series["host-1"].anomalies == 0
+
+    def test_per_key_latency_percentiles(self):
+        data = make_fleet_data(2, length=PERIOD * 6)
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        for batch in interleaved_batches(data):
+            engine.ingest(batch)
+        stats = engine.fleet_stats()
+        for key in data:
+            latency = stats.per_series[key].latency
+            assert latency is not None
+            assert latency.points == PERIOD * 2
+            assert latency.p99_seconds >= latency.median_seconds > 0
+
+    def test_latency_tracking_can_be_disabled(self):
+        engine = MultiSeriesEngine.for_oneshotstl(
+            PERIOD, shift_window=0, track_latency=False
+        )
+        values = make_seasonal_series(PERIOD * 5, PERIOD, seed=7)["values"]
+        for value in values:
+            engine.process("m", float(value))
+        assert engine.series_stats("m").latency is None
+
+    def test_warming_series_counted(self):
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        engine.process("m", 1.0)
+        stats = engine.fleet_stats()
+        assert stats.series_warming == 1
+        assert stats.series_live == 0
+        assert stats.points_total == 1
+
+
+class TestScale:
+    def test_sustains_many_concurrent_series(self):
+        """A large keyed fleet streams through one engine without issue."""
+        n_series = 120
+        engine = MultiSeriesEngine.for_oneshotstl(
+            PERIOD, shift_window=0, iterations=1, track_latency=False
+        )
+        base = make_seasonal_series(PERIOD * 5, PERIOD, seed=8)["values"]
+        for position in range(base.size):
+            engine.ingest(
+                [(f"k{index}", base[position] + index) for index in range(n_series)]
+            )
+        stats = engine.fleet_stats()
+        assert stats.series_total == n_series
+        assert stats.series_live == n_series
+        assert stats.points_total == n_series * base.size
