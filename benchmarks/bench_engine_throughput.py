@@ -31,7 +31,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 from repro.core import OneShotSTL
 from repro.streaming import MultiSeriesEngine
 
-from helpers import is_paper_scale, report
+from helpers import is_paper_scale, report, report_json
 
 PERIOD = 24
 INITIALIZATION = 4 * PERIOD
@@ -117,13 +117,40 @@ def _collect(smoke: bool = False) -> list[dict]:
     return rows
 
 
-def test_engine_throughput(run_once):
-    rows = run_once(_collect)
+def _emit(rows: list[dict], smoke: bool) -> None:
+    """Write the human-readable table and the machine-readable JSON artifact.
+
+    ``BENCH_engine.json`` maps fleet size -> points/sec (plus the raw kernel
+    number and the full rows), so CI can track the perf trajectory across
+    PRs without parsing the text table.  The ``workload`` field records
+    whether the numbers come from the seconds-long ``--smoke`` workload
+    (CI's artifact) or a full run at the configured scale -- the two are
+    not comparable.
+    """
     report(
         "engine_throughput",
         "Engine throughput: points/sec vs concurrent series",
         rows,
     )
+    report_json(
+        "BENCH_engine.json",
+        "engine_throughput",
+        rows,
+        workload="smoke" if smoke else "full",
+        points_per_sec={
+            str(row["series"]): row["points_per_sec"]
+            for row in rows
+            if row["config"] == "engine ingest"
+        },
+        raw_kernel_points_per_sec=next(
+            row["points_per_sec"] for row in rows if row["config"] == "raw OneShotSTL"
+        ),
+    )
+
+
+def test_engine_throughput(run_once):
+    rows = run_once(_collect)
+    _emit(rows, smoke=False)
     by_series = {
         row["series"]: row for row in rows if row["config"] == "engine ingest"
     }
@@ -137,9 +164,5 @@ def test_engine_throughput(run_once):
 
 
 if __name__ == "__main__":
-    rows = _collect(smoke="--smoke" in sys.argv)
-    report(
-        "engine_throughput",
-        "Engine throughput: points/sec vs concurrent series",
-        rows,
-    )
+    smoke = "--smoke" in sys.argv
+    _emit(_collect(smoke=smoke), smoke=smoke)

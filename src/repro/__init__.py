@@ -14,13 +14,20 @@ The most common entry points are re-exported here:
   baselines.
 * :class:`OneShotSTLDetector` / :class:`OneShotSTLForecaster` -- the
   downstream anomaly-detection and forecasting wrappers of Section 4.
-* :class:`StreamingPipeline` -- decomposition + scoring + forecasting wired
-  together for production-style streaming use.
+* :class:`StreamingPipeline` / :class:`MultiSeriesEngine` -- decomposition
+  + scoring + forecasting wired together for production-style streaming
+  use, single-series and keyed-fleet form.
+* :class:`DecomposerSpec`, :class:`DetectorSpec`, :class:`ForecasterSpec`,
+  :class:`PipelineSpec`, :class:`EngineSpec`, :func:`build` -- the
+  declarative configuration layer (:mod:`repro.specs`): JSON-able specs
+  that name components by their :mod:`repro.registry` names and rebuild
+  any pipeline from data alone.
 * :func:`find_length` -- autocorrelation-based period detection.
 
 Subpackages: ``core``, ``decomposition``, ``anomaly``, ``forecasting``,
 ``metrics``, ``datasets``, ``periodicity``, ``solvers``, ``neural``,
-``streaming``, ``utils``.  See README.md and DESIGN.md for the full map.
+``streaming``, ``utils``, plus the flat ``registry`` and ``specs``
+modules.  See README.md and DESIGN.md for the full map.
 """
 
 from repro.core import JointSTL, ModifiedJointSTL, NSigma, OneShotSTL, select_lambda
@@ -36,19 +43,38 @@ from repro.periodicity import find_length
 __version__ = "1.0.0"
 
 __all__ = [
+    "DecomposerSpec",
     "DecompositionPoint",
     "DecompositionResult",
+    "DetectorSpec",
+    "EngineSpec",
+    "ForecasterSpec",
     "JointSTL",
     "ModifiedJointSTL",
+    "MultiSeriesEngine",
     "NSigma",
     "OneShotSTL",
     "OnlineSTL",
+    "PipelineSpec",
     "RobustSTL",
     "STL",
+    "SeriesStatus",
+    "StreamingPipeline",
     "__version__",
+    "build",
     "find_length",
     "select_lambda",
 ]
+
+#: names re-exported lazily from the declarative configuration layer
+_SPEC_EXPORTS = (
+    "DecomposerSpec",
+    "DetectorSpec",
+    "EngineSpec",
+    "ForecasterSpec",
+    "PipelineSpec",
+    "build",
+)
 
 
 def __getattr__(name):
@@ -61,8 +87,12 @@ def __getattr__(name):
         from repro import forecasting
 
         return getattr(forecasting, name)
-    if name == "StreamingPipeline":
-        from repro.streaming import StreamingPipeline
+    if name in ("StreamingPipeline", "MultiSeriesEngine", "SeriesStatus"):
+        from repro import streaming
 
-        return StreamingPipeline
+        return getattr(streaming, name)
+    if name in _SPEC_EXPORTS:
+        from repro import specs
+
+        return getattr(specs, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

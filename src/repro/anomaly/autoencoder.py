@@ -16,12 +16,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.anomaly.base import AnomalyDetector
+from repro.registry import register_detector
 from repro.neural import MLPRegressor
 from repro.utils import check_positive_int, sliding_window_view
 
 __all__ = ["AutoencoderDetector"]
 
 
+@register_detector("autoencoder")
 class AutoencoderDetector(AnomalyDetector):
     """Window autoencoder with reconstruction-error scoring.
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.anomaly.base import AnomalyDetector
+from repro.registry import register_detector
 from repro.anomaly.matrix_profile import mass
 from repro.utils import check_positive_int
 
@@ -83,6 +84,7 @@ def damp_scores(values: np.ndarray, window: int, train_length: int) -> np.ndarra
     return scores
 
 
+@register_detector("damp")
 class DampDetector(AnomalyDetector):
     """DAMP adapter to the common detector interface.
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.anomaly.base import AnomalyDetector
+from repro.registry import register_detector
 from repro.utils import as_float_array, check_positive_int, sliding_window_view
 
 __all__ = ["mass", "matrix_profile", "Stompi", "StompDetector"]
@@ -173,6 +174,7 @@ class Stompi:
         return score
 
 
+@register_detector("stomp")
 class StompDetector(AnomalyDetector):
     """STOMPI adapter to the common detector interface.
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.anomaly.base import AnomalyDetector
+from repro.registry import register_detector
 from repro.utils import check_positive_int, sliding_window_view
 
 __all__ = ["kmeans", "NormaDetector"]
@@ -56,6 +57,7 @@ def kmeans(
     return centroids, assignments
 
 
+@register_detector("norma")
 class NormaDetector(AnomalyDetector):
     """Normal-model scoring of subsequences.
 

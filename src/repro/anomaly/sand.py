@@ -18,12 +18,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.anomaly.base import AnomalyDetector
+from repro.registry import register_detector
 from repro.anomaly.norma import _znormalize_rows, kmeans
 from repro.utils import check_positive_int, sliding_window_view
 
 __all__ = ["SandDetector"]
 
 
+@register_detector("sand")
 class SandDetector(AnomalyDetector):
     """Streaming normal-model anomaly detection.
 

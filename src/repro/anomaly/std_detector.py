@@ -14,6 +14,7 @@ from typing import Callable
 import numpy as np
 
 from repro.anomaly.base import AnomalyDetector
+from repro.registry import register_detector
 from repro.anomaly.nsigma import NSigma
 from repro.core.oneshotstl import OneShotSTL
 from repro.decomposition.base import OnlineDecomposer
@@ -28,6 +29,7 @@ __all__ = [
 ]
 
 
+@register_detector("nsigma")
 class NSigmaDetector(AnomalyDetector):
     """Streaming NSigma applied directly to the raw values (no decomposition)."""
 
@@ -90,6 +92,7 @@ class STDDetector(AnomalyDetector):
         return scores
 
 
+@register_detector("oneshotstl")
 class OneShotSTLDetector(STDDetector):
     """OneShotSTL + NSigma (the paper's proposed TSAD method).
 
@@ -124,6 +127,7 @@ class OneShotSTLDetector(STDDetector):
         )
 
 
+@register_detector("online_stl")
 class OnlineSTLDetector(STDDetector):
     """OnlineSTL + NSigma (the main online STD baseline)."""
 

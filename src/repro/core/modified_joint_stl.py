@@ -26,12 +26,14 @@ from repro.decomposition.base import (
     OnlineDecomposer,
 )
 from repro.decomposition.stl import STL
+from repro.registry import register_decomposer
 from repro.solvers import BandedLDLT
 from repro.utils import as_float_array, check_period, check_positive, check_positive_int
 
 __all__ = ["ModifiedJointSTL"]
 
 
+@register_decomposer("modified_joint_stl")
 class ModifiedJointSTL(OnlineDecomposer):
     """Exact online reference implementation of the modified JointSTL model.
 
@@ -56,6 +58,21 @@ class ModifiedJointSTL(OnlineDecomposer):
         self.epsilon = check_positive(epsilon, "epsilon")
         self._initializer = initializer
         self._initialized = False
+
+    def get_params(self) -> dict:
+        """Primitive constructor parameters (see :mod:`repro.specs`)."""
+        if self._initializer is not None:
+            raise ValueError(
+                "a ModifiedJointSTL with a custom initializer object cannot "
+                "be described by primitive spec parameters"
+            )
+        return {
+            "period": self.period,
+            "lambda1": self.lambda1,
+            "lambda2": self.lambda2,
+            "iterations": self.iterations,
+            "epsilon": self.epsilon,
+        }
 
     # ------------------------------------------------------------------ API
 

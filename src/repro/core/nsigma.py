@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.registry import register_scorer
 from repro.utils import as_float_array, check_positive
 
 __all__ = ["NSigma", "NSigmaVerdict"]
@@ -39,6 +40,7 @@ class NSigmaVerdict:
     is_anomaly: bool
 
 
+@register_scorer("nsigma")
 class NSigma:
     """Streaming z-score anomaly detector.
 
@@ -61,6 +63,10 @@ class NSigma:
         self._m2 = 0.0
 
     # ------------------------------------------------------------------ API
+
+    def get_params(self) -> dict:
+        """Primitive constructor parameters (see :mod:`repro.specs`)."""
+        return {"threshold": self.threshold, "minimum_std": self.minimum_std}
 
     @property
     def count(self) -> int:

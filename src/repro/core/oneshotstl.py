@@ -37,6 +37,7 @@ from repro.decomposition.base import (
     OnlineDecomposer,
 )
 from repro.decomposition.stl import STL
+from repro.registry import register_decomposer
 from repro.solvers import IncrementalBandedLDLT
 from repro.utils import as_float_array, check_period, check_positive, check_positive_int
 
@@ -59,6 +60,7 @@ class _IterationState:
         )
 
 
+@register_decomposer("oneshotstl")
 class OneShotSTL(OnlineDecomposer):
     """Online seasonal-trend decomposition with O(1) update complexity.
 
@@ -107,6 +109,25 @@ class OneShotSTL(OnlineDecomposer):
         self.epsilon = check_positive(epsilon, "epsilon")
         self._initializer = initializer
         self._initialized = False
+
+    supports_missing = True
+
+    def get_params(self) -> dict:
+        """Primitive constructor parameters (see :mod:`repro.specs`)."""
+        if self._initializer is not None:
+            raise ValueError(
+                "a OneShotSTL with a custom initializer object cannot be "
+                "described by primitive spec parameters"
+            )
+        return {
+            "period": self.period,
+            "lambda1": self.lambda1,
+            "lambda2": self.lambda2,
+            "iterations": self.iterations,
+            "shift_window": self.shift_window,
+            "shift_threshold": self.shift_threshold,
+            "epsilon": self.epsilon,
+        }
 
     # ------------------------------------------------------------------ API
 

@@ -116,6 +116,23 @@ class OnlineDecomposer(ABC):
     #: seasonal period length used by the method
     period: int
 
+    #: whether :meth:`update` accepts NaN as a missing-value marker and
+    #: imputes it internally; decomposers without imputation must not be
+    #: fed NaN (it would silently poison their state).
+    supports_missing: bool = False
+
+    def get_params(self) -> dict:
+        """Primitive constructor parameters for :mod:`repro.specs`.
+
+        Registered decomposers override this to report the keyword
+        arguments that reconstruct an equivalent fresh instance.  A
+        ``ValueError`` signals a configuration that cannot be expressed as
+        primitives (e.g. an injected initializer object).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose spec parameters"
+        )
+
     @abstractmethod
     def initialize(self, values) -> DecompositionResult:
         """Fit the method on an initialization prefix and return its decomposition."""

@@ -25,11 +25,13 @@ from repro.decomposition.base import (
 )
 from repro.decomposition.loess import tricube_weights
 from repro.decomposition.stl import STL
+from repro.registry import register_decomposer
 from repro.utils import as_float_array, check_period, check_positive, check_probability
 
 __all__ = ["OnlineSTL"]
 
 
+@register_decomposer("online_stl")
 class OnlineSTL(OnlineDecomposer):
     """Online decomposition with tricube trend and exponential seasonal filters.
 
@@ -64,6 +66,19 @@ class OnlineSTL(OnlineDecomposer):
         self.trend_window = int(check_positive(trend_window, "trend_window"))
         self._initializer = initializer
         self._initialized = False
+
+    def get_params(self) -> dict:
+        """Primitive constructor parameters (see :mod:`repro.specs`)."""
+        if self._initializer is not None:
+            raise ValueError(
+                "an OnlineSTL with a custom initializer object cannot be "
+                "described by primitive spec parameters"
+            )
+        return {
+            "period": self.period,
+            "smoothing": self.smoothing,
+            "trend_window": self.trend_window,
+        }
 
     # ------------------------------------------------------------------ API
 

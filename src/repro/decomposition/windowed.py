@@ -27,6 +27,7 @@ from repro.decomposition.base import (
 )
 from repro.decomposition.robust_stl import RobustSTL
 from repro.decomposition.stl import STL
+from repro.registry import register_decomposer
 from repro.utils import as_float_array, check_period, check_positive_int
 
 __all__ = ["WindowedDecomposer", "WindowSTL", "WindowRobustSTL", "OnlineRobustSTL"]
@@ -58,6 +59,22 @@ class WindowedDecomposer(OnlineDecomposer):
         self.recompute_stride = check_positive_int(recompute_stride, "recompute_stride")
         self.window_length = self.window_periods * self.period
         self._initialized = False
+
+    def get_params(self) -> dict:
+        """Primitive constructor parameters (see :mod:`repro.specs`).
+
+        Meaningful on the registered subclasses, which construct their own
+        batch decomposer and record its extra keyword arguments in
+        ``_extra_params``; the base adapter (built around an arbitrary
+        batch decomposer object) is not spec-expressible and has no
+        ``_extra_params``.
+        """
+        return {
+            "period": self.period,
+            "window_periods": self.window_periods,
+            "recompute_stride": self.recompute_stride,
+            **getattr(self, "_extra_params", {}),
+        }
 
     def initialize(self, values) -> DecompositionResult:
         values = as_float_array(values, "values", min_length=2 * self.period)
@@ -99,6 +116,7 @@ class WindowedDecomposer(OnlineDecomposer):
         )
 
 
+@register_decomposer("window_stl")
 class WindowSTL(WindowedDecomposer):
     """The paper's Window-STL baseline (batch STL on a 4-period sliding window)."""
 
@@ -108,8 +126,10 @@ class WindowSTL(WindowedDecomposer):
             window_periods=window_periods,
             recompute_stride=recompute_stride,
         )
+        self._extra_params = dict(stl_kwargs)
 
 
+@register_decomposer("window_robust_stl")
 class WindowRobustSTL(WindowedDecomposer):
     """The paper's Window-RobustSTL baseline."""
 
@@ -121,8 +141,10 @@ class WindowRobustSTL(WindowedDecomposer):
             window_periods=window_periods,
             recompute_stride=recompute_stride,
         )
+        self._extra_params = dict(robust_kwargs)
 
 
+@register_decomposer("online_robust_stl")
 class OnlineRobustSTL(WindowedDecomposer):
     """OnlineRobustSTL baseline (sliding-window FastRobustSTL, O(T) per point).
 
@@ -140,3 +162,4 @@ class OnlineRobustSTL(WindowedDecomposer):
             window_periods=window_periods,
             recompute_stride=recompute_stride,
         )
+        self._extra_params = dict(robust_kwargs)

@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.forecasting.base import Forecaster
+from repro.registry import register_forecaster
 from repro.utils import check_positive_int
 
 __all__ = ["ARIMAForecaster", "AutoARIMAForecaster"]
@@ -50,6 +51,7 @@ def _fit_ar(values: np.ndarray, order: int) -> tuple[np.ndarray, float, float]:
     return solution[1:], float(solution[0]), sigma2
 
 
+@register_forecaster("arima")
 class ARIMAForecaster(Forecaster):
     """AR(p) model on the ``d``-times differenced series."""
 
@@ -101,6 +103,7 @@ class ARIMAForecaster(Forecaster):
         return float(2 * parameters + np.log(sigma2))
 
 
+@register_forecaster("auto_arima")
 class AutoARIMAForecaster(Forecaster):
     """Grid-searched ARIMA with an optional seasonal-naive component."""
 

@@ -14,11 +14,13 @@ from itertools import product
 import numpy as np
 
 from repro.forecasting.base import Forecaster
+from repro.registry import register_forecaster
 from repro.utils import check_period
 
 __all__ = ["HoltWintersForecaster"]
 
 
+@register_forecaster("holt_winters")
 class HoltWintersForecaster(Forecaster):
     """Additive Holt-Winters with grid-searched smoothing factors.
 

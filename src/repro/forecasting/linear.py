@@ -13,11 +13,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.forecasting.base import Forecaster
+from repro.registry import register_forecaster
 from repro.utils import check_positive, check_positive_int, sliding_window_view
 
 __all__ = ["DirectRidgeForecaster"]
 
 
+@register_forecaster("direct_ridge")
 class DirectRidgeForecaster(Forecaster):
     """Ridge regression from an input window to the full forecast horizon.
 

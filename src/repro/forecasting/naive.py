@@ -5,11 +5,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.forecasting.base import Forecaster
+from repro.registry import register_forecaster
 from repro.utils import check_period
 
 __all__ = ["NaiveForecaster", "SeasonalNaiveForecaster", "DriftForecaster"]
 
 
+@register_forecaster("naive")
 class NaiveForecaster(Forecaster):
     """Repeat the last observed value."""
 
@@ -24,6 +26,7 @@ class NaiveForecaster(Forecaster):
         return np.full(horizon, history[-1])
 
 
+@register_forecaster("seasonal_naive")
 class SeasonalNaiveForecaster(Forecaster):
     """Repeat the value observed one period earlier."""
 
@@ -45,6 +48,7 @@ class SeasonalNaiveForecaster(Forecaster):
         return np.tile(last_period, repetitions)[:horizon]
 
 
+@register_forecaster("drift")
 class DriftForecaster(Forecaster):
     """Extrapolate the average slope of the history (the classic drift method)."""
 

@@ -13,12 +13,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.forecasting.base import Forecaster
+from repro.registry import register_forecaster
 from repro.neural import MLPRegressor
 from repro.utils import check_positive_int, sliding_window_view
 
 __all__ = ["NBeatsLiteForecaster"]
 
 
+@register_forecaster("nbeats_lite")
 class NBeatsLiteForecaster(Forecaster):
     """Residual stack of MLP blocks mapping an input window to the horizon.
 

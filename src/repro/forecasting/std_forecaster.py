@@ -20,6 +20,7 @@ from repro.core.oneshotstl import OneShotSTL
 from repro.decomposition.base import OnlineDecomposer
 from repro.decomposition.online_stl import OnlineSTL
 from repro.forecasting.base import Forecaster
+from repro.registry import register_forecaster
 
 __all__ = ["STDForecaster", "OneShotSTLForecaster", "OnlineSTLForecaster"]
 
@@ -64,6 +65,7 @@ class STDForecaster(Forecaster):
         return np.asarray(self._decomposer.forecast(horizon), dtype=float)
 
 
+@register_forecaster("oneshotstl")
 class OneShotSTLForecaster(STDForecaster):
     """OneShotSTL + periodic continuation (the paper's proposed TSF method)."""
 
@@ -88,6 +90,7 @@ class OneShotSTLForecaster(STDForecaster):
         )
 
 
+@register_forecaster("online_stl")
 class OnlineSTLForecaster(STDForecaster):
     """OnlineSTL + periodic continuation."""
 

@@ -1,0 +1,197 @@
+"""String-keyed component registry: stable names for every pluggable piece.
+
+The declarative configuration layer (:mod:`repro.specs`) describes a
+pipeline as plain data -- ``{"name": "oneshotstl", "params": {...}}`` --
+and needs a way to turn a stable string name back into the class that
+implements it.  This module is that mapping.  Components self-register at
+class-definition time with one of the decorators below::
+
+    from repro.registry import register_decomposer
+
+    @register_decomposer("oneshotstl")
+    class OneShotSTL(OnlineDecomposer):
+        ...
+
+Four namespaces keep the names unambiguous:
+
+``decomposer``
+    Online decomposers usable inside a :class:`~repro.streaming.pipeline.
+    StreamingPipeline` (``initialize`` / ``update``).
+``scorer``
+    Streaming anomaly scorers for the pipeline's detection stage
+    (``update(value) -> verdict``), e.g. :class:`repro.core.nsigma.NSigma`.
+``detector``
+    Batch :class:`~repro.anomaly.base.AnomalyDetector` methods
+    (``detect(train, test) -> scores``) used by the TSAD benchmarks.
+``forecaster``
+    :class:`~repro.forecasting.base.Forecaster` implementations.
+
+The registry is intentionally passive: importing this module pulls in no
+component code.  Lookups lazily import the built-in component packages the
+first time a name is requested, so ``get_component("decomposer",
+"oneshotstl")`` works from a cold start while third-party code can still
+register its own classes before or after.
+
+Registration stamps the chosen name onto the class as ``registry_name``,
+which is how a *live* component reports the stable name for its spec
+(:func:`component_name` guards against subclasses inheriting the stamp).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable, Type
+
+__all__ = [
+    "DECOMPOSER",
+    "DETECTOR",
+    "FORECASTER",
+    "SCORER",
+    "available",
+    "component_name",
+    "get_component",
+    "is_registered",
+    "register",
+    "register_decomposer",
+    "register_detector",
+    "register_forecaster",
+    "register_scorer",
+]
+
+DECOMPOSER = "decomposer"
+SCORER = "scorer"
+DETECTOR = "detector"
+FORECASTER = "forecaster"
+
+_KINDS = (DECOMPOSER, SCORER, DETECTOR, FORECASTER)
+
+#: packages whose import triggers the built-in registrations
+_BUILTIN_PACKAGES = (
+    "repro.core",
+    "repro.decomposition",
+    "repro.anomaly",
+    "repro.forecasting",
+)
+
+_registry: dict[str, dict[str, type]] = {kind: {} for kind in _KINDS}
+_builtins_loaded = False
+
+
+def _check_kind(kind: str) -> str:
+    if kind not in _KINDS:
+        raise ValueError(f"unknown registry kind {kind!r}; expected one of {_KINDS}")
+    return kind
+
+
+def _load_builtins() -> None:
+    """Import the built-in component packages once, on first lookup."""
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    for package in _BUILTIN_PACKAGES:
+        importlib.import_module(package)
+
+
+def register(kind: str, name: str) -> Callable[[Type], Type]:
+    """Class decorator: register the class under ``(kind, name)``.
+
+    Re-registering the *same* class under the same name is a no-op (so
+    module reloads stay safe); registering a different class under a taken
+    name raises ``ValueError``.
+    """
+    _check_kind(kind)
+    if not isinstance(name, str) or not name:
+        raise ValueError("registry names must be non-empty strings")
+
+    def decorator(cls: Type) -> Type:
+        existing = _registry[kind].get(name)
+        if (
+            existing is not None
+            and existing is not cls
+            and (
+                existing.__module__ != cls.__module__
+                or existing.__qualname__ != cls.__qualname__
+            )
+        ):
+            # A different class object with the same module and qualname is
+            # the same definition re-executed (importlib.reload, pytest
+            # re-imports): take the newer one.  Anything else is a genuine
+            # name collision.
+            raise ValueError(
+                f"{kind} name {name!r} is already registered to "
+                f"{existing.__module__}.{existing.__qualname__}"
+            )
+        _registry[kind][name] = cls
+        cls.registry_name = name
+        return cls
+
+    return decorator
+
+
+def register_decomposer(name: str) -> Callable[[Type], Type]:
+    """Register an online decomposer (``initialize`` / ``update``)."""
+    return register(DECOMPOSER, name)
+
+
+def register_scorer(name: str) -> Callable[[Type], Type]:
+    """Register a streaming anomaly scorer (``update(value) -> verdict``)."""
+    return register(SCORER, name)
+
+
+def register_detector(name: str) -> Callable[[Type], Type]:
+    """Register a batch anomaly detector (``detect(train, test)``)."""
+    return register(DETECTOR, name)
+
+
+def register_forecaster(name: str) -> Callable[[Type], Type]:
+    """Register a forecaster (``fit`` / ``forecast``)."""
+    return register(FORECASTER, name)
+
+
+def get_component(kind: str, name: str) -> type:
+    """Return the class registered under ``(kind, name)``.
+
+    Unknown names raise ``KeyError`` listing the registered alternatives.
+    """
+    _check_kind(kind)
+    _load_builtins()
+    try:
+        return _registry[kind][name]
+    except KeyError:
+        known = ", ".join(sorted(_registry[kind])) or "(none)"
+        raise KeyError(
+            f"no {kind} registered under {name!r}; known {kind}s: {known}"
+        ) from None
+
+
+def is_registered(kind: str, name: str) -> bool:
+    """Whether ``name`` resolves to a class in the ``kind`` namespace."""
+    _check_kind(kind)
+    _load_builtins()
+    return name in _registry[kind]
+
+
+def available(kind: str) -> list[str]:
+    """Sorted names registered under ``kind``."""
+    _check_kind(kind)
+    _load_builtins()
+    return sorted(_registry[kind])
+
+
+def component_name(kind: str, cls: type) -> str | None:
+    """Stable registered name of ``cls`` under ``kind``, or ``None``.
+
+    The ``registry_name`` stamp is inherited by subclasses, so this checks
+    that the name actually resolves back to ``cls`` itself -- an
+    unregistered subclass of a registered class reports ``None`` rather
+    than silently impersonating its parent.
+    """
+    _check_kind(kind)
+    name = getattr(cls, "registry_name", None)
+    if name is None:
+        return None
+    _load_builtins()
+    if _registry[kind].get(name) is not cls:
+        return None
+    return name

@@ -2,10 +2,12 @@
 
 from repro.streaming.buffer import RingBuffer
 from repro.streaming.engine import (
+    CHECKPOINT_FORMAT_VERSION,
     EngineRecord,
     FleetStats,
     MultiSeriesEngine,
     SeriesStats,
+    SeriesStatus,
 )
 from repro.streaming.latency import (
     LatencyReport,
@@ -15,12 +17,14 @@ from repro.streaming.latency import (
 from repro.streaming.pipeline import StreamingPipeline, StreamRecord
 
 __all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
     "EngineRecord",
     "FleetStats",
     "LatencyReport",
     "MultiSeriesEngine",
     "RingBuffer",
     "SeriesStats",
+    "SeriesStatus",
     "StreamRecord",
     "StreamingPipeline",
     "measure_update_latency",

@@ -5,6 +5,13 @@ run on *every* monitored metric.  :class:`MultiSeriesEngine` is the serving
 layer that makes that concrete: it multiplexes any number of independent
 keyed streams over the shared fast kernel, with
 
+* **declarative configuration** -- the engine is built from an
+  :class:`~repro.specs.EngineSpec` (:meth:`from_spec`, or the
+  :meth:`for_oneshotstl` shorthand): plain JSON-able data naming the
+  decomposer/scorer by registry name, with optional per-key
+  :class:`~repro.specs.PipelineSpec` overrides so heterogeneous fleets
+  (different periods or thresholds per metric class) live in one engine;
+  :attr:`spec` reports the configuration in use;
 * **batched ingest** -- ``ingest([(key, value), ...])`` routes a mixed
   batch of observations to their per-key pipelines and returns the derived
   records in input order;
@@ -12,10 +19,12 @@ keyed streams over the shared fast kernel, with
   key creates its pipeline; values are buffered until the configured
   initialization window is full, then the batch initialization phase runs
   and the series goes live;
-* **checkpointing** -- :meth:`snapshot` captures the full engine state
-  (every pipeline, buffer and counter) as an in-memory, picklable
-  checkpoint and :meth:`restore` rewinds to it, so a monitoring service
-  can persist and resume mid-stream;
+* **portable versioned checkpoints** -- :meth:`save` writes
+  ``{format_version, engine_spec, per-series state}`` to a file and
+  :meth:`MultiSeriesEngine.load` rebuilds a fully equivalent engine from
+  that file alone, in a different process if desired; the in-memory
+  :meth:`snapshot` / :meth:`restore` pair remains for cheap same-process
+  rewind;
 * **fleet statistics** -- :meth:`fleet_stats` aggregates anomaly counts and
   per-key update-latency percentiles (via
   :func:`repro.streaming.latency.summarize_latencies`) across the fleet.
@@ -29,22 +38,55 @@ overhead and centralizing bookkeeping.
 from __future__ import annotations
 
 import copy
+import enum
+import pickle
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Hashable, Iterable, Tuple
 
 import numpy as np
 
+from repro.specs import DecomposerSpec, DetectorSpec, EngineSpec, PipelineSpec
 from repro.streaming.buffer import RingBuffer
 from repro.streaming.latency import LatencyReport, summarize_latencies
 from repro.streaming.pipeline import StreamingPipeline, StreamRecord
 from repro.utils import check_positive_int
 
-__all__ = ["EngineRecord", "FleetStats", "MultiSeriesEngine", "SeriesStats"]
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "EngineRecord",
+    "FleetStats",
+    "MultiSeriesEngine",
+    "SeriesStatus",
+    "SeriesStats",
+]
 
-#: status of a series: buffering its initialization window, or streaming.
-WARMING = "warming"
-LIVE = "live"
+#: version stamp written into (and required from) portable checkpoints
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+class SeriesStatus(str, enum.Enum):
+    """Lifecycle status of one keyed series.
+
+    String-valued for backward compatibility: ``SeriesStatus.WARMING ==
+    "warming"`` holds, and ``str()``/formatting yield the bare value, so
+    code comparing against or logging the old strings keeps working.
+    """
+
+    WARMING = "warming"
+    LIVE = "live"
+
+    # Python 3.11+ makes plain str-mixin enums render as
+    # "SeriesStatus.WARMING"; keep the pre-enum log/format output.
+    __str__ = str.__str__
+    __format__ = str.__format__
+
+
+#: deprecated aliases kept for backward compatibility
+WARMING = SeriesStatus.WARMING
+LIVE = SeriesStatus.LIVE
 
 
 @dataclass(frozen=True)
@@ -57,7 +99,7 @@ class EngineRecord:
     """
 
     key: Hashable
-    status: str
+    status: SeriesStatus
     record: StreamRecord | None
 
     @property
@@ -70,7 +112,7 @@ class SeriesStats:
     """Aggregated statistics of a single keyed series."""
 
     key: Hashable
-    status: str
+    status: SeriesStatus
     points: int
     anomalies: int
     latency: LatencyReport | None
@@ -105,14 +147,22 @@ class _SeriesState:
 class MultiSeriesEngine:
     """A keyed fleet of online decomposition pipelines behind one ingest API.
 
+    The supported way to construct an engine is from a declarative
+    :class:`~repro.specs.EngineSpec` -- :meth:`from_spec`, or
+    :meth:`for_oneshotstl` for the common case -- because only spec-built
+    engines can be persisted with :meth:`save`.  Passing a
+    ``pipeline_factory`` callable directly is deprecated (it cannot be
+    serialized, shipped to a worker, or rebuilt from a checkpoint) but
+    still works for fully custom pipelines.
+
     Parameters
     ----------
     pipeline_factory:
-        Callable invoked with a series key the first time that key appears;
-        must return a *fresh* :class:`StreamingPipeline` (or any object with
-        the same ``initialize`` / ``process`` / ``forecast`` interface) for
-        that series.  Per-key configuration -- different periods, thresholds
-        or decomposers per metric class -- goes here.
+        Deprecated.  Callable invoked with a series key the first time that
+        key appears; must return a *fresh* :class:`StreamingPipeline` (or
+        any object with the same ``initialize`` / ``process`` / ``forecast``
+        interface).  Use an :class:`~repro.specs.EngineSpec` with per-key
+        ``overrides`` instead.
     initialization_length:
         Number of leading observations buffered per series before its batch
         initialization phase runs.  Should cover at least two seasonal
@@ -127,24 +177,89 @@ class MultiSeriesEngine:
     track_latency:
         Set to False to skip the two clock reads per point (marginally
         faster ingest, no latency percentiles in the stats).
+    spec:
+        Keyword-only.  An :class:`~repro.specs.EngineSpec` that fully
+        configures the engine; mutually exclusive with the other
+        parameters.  Prefer :meth:`from_spec`.
     """
 
     def __init__(
         self,
-        pipeline_factory: Callable[[Hashable], StreamingPipeline],
-        initialization_length: int,
-        latency_window: int = 1024,
-        track_latency: bool = True,
+        pipeline_factory: Callable[[Hashable], StreamingPipeline] | None = None,
+        initialization_length: int | None = None,
+        latency_window: int | None = None,
+        track_latency: bool | None = None,
+        *,
+        spec: EngineSpec | None = None,
     ):
+        if spec is not None:
+            if (
+                pipeline_factory is not None
+                or initialization_length is not None
+                or latency_window is not None
+                or track_latency is not None
+            ):
+                raise ValueError(
+                    "pass either spec= or (pipeline_factory, "
+                    "initialization_length, latency_window, track_latency), "
+                    "not both; a spec-built engine takes every setting from "
+                    "the spec"
+                )
+            if not isinstance(spec, EngineSpec):
+                raise TypeError(
+                    f"spec must be an EngineSpec, got {type(spec).__name__}"
+                )
+            self.spec: EngineSpec | None = spec
+            pipeline_factory = self._spec_factory(spec)
+            initialization_length = spec.initialization_length
+            latency_window = spec.latency_window
+            track_latency = spec.track_latency
+        else:
+            if pipeline_factory is None or initialization_length is None:
+                raise TypeError(
+                    "MultiSeriesEngine requires either spec= or both "
+                    "pipeline_factory and initialization_length"
+                )
+            warnings.warn(
+                "constructing MultiSeriesEngine from a pipeline factory is "
+                "deprecated: factory-built engines cannot be saved to a "
+                "portable checkpoint.  Describe the fleet with an "
+                "EngineSpec (repro.specs) and use MultiSeriesEngine."
+                "from_spec(); per-key configuration goes in spec.overrides.",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.spec = None
         self.pipeline_factory = pipeline_factory
         self.initialization_length = check_positive_int(
             initialization_length, "initialization_length", minimum=2
         )
-        self.latency_window = check_positive_int(latency_window, "latency_window")
-        self.track_latency = bool(track_latency)
+        self.latency_window = check_positive_int(
+            1024 if latency_window is None else latency_window, "latency_window"
+        )
+        self.track_latency = True if track_latency is None else bool(track_latency)
         self._series: dict[Hashable, _SeriesState] = {}
 
     # --------------------------------------------------------- construction
+
+    @staticmethod
+    def _spec_factory(
+        spec: EngineSpec,
+    ) -> Callable[[Hashable], StreamingPipeline]:
+        def factory(key: Hashable) -> StreamingPipeline:
+            return StreamingPipeline.from_spec(spec.pipeline_for(key))
+
+        return factory
+
+    @classmethod
+    def from_spec(cls, spec: EngineSpec) -> "MultiSeriesEngine":
+        """Build an engine from a declarative :class:`EngineSpec`.
+
+        The spec is plain data: it can come from a JSON file
+        (``EngineSpec.from_json``), a checkpoint, or another process.  The
+        engine keeps it available as :attr:`spec`.
+        """
+        return cls(spec=spec)
 
     @classmethod
     def for_oneshotstl(
@@ -160,25 +275,27 @@ class MultiSeriesEngine:
 
         ``initialization_length`` defaults to four periods, the paper's
         initialization window.  Extra keyword arguments are forwarded to
-        :class:`repro.core.OneShotSTL`.
+        :class:`repro.core.OneShotSTL` and must be primitive values (they
+        are stored in the engine's :class:`EngineSpec`, so the resulting
+        engine supports :meth:`save`).
         """
-        from repro.core.oneshotstl import OneShotSTL
-
         if initialization_length is None:
             initialization_length = 4 * int(period)
 
-        def factory(_key: Hashable) -> StreamingPipeline:
-            return StreamingPipeline(
-                OneShotSTL(period, **oneshotstl_parameters),
-                anomaly_threshold=anomaly_threshold,
-            )
-
-        return cls(
-            factory,
-            initialization_length,
+        spec = EngineSpec(
+            pipeline=PipelineSpec(
+                decomposer=DecomposerSpec(
+                    "oneshotstl", {"period": int(period), **oneshotstl_parameters}
+                ),
+                detector=DetectorSpec(
+                    "nsigma", {"threshold": float(anomaly_threshold)}
+                ),
+            ),
+            initialization_length=int(initialization_length),
             latency_window=latency_window,
             track_latency=track_latency,
         )
+        return cls.from_spec(spec)
 
     # ------------------------------------------------------------ streaming
 
@@ -218,7 +335,7 @@ class MultiSeriesEngine:
                 state.warmup = []
                 state.pipeline.initialize(window)
                 state.live = True
-            return EngineRecord(key=key, status=WARMING, record=None)
+            return EngineRecord(key=key, status=SeriesStatus.WARMING, record=None)
 
         if self.track_latency:
             start = time.perf_counter()
@@ -229,7 +346,7 @@ class MultiSeriesEngine:
         state.points += 1
         if record.is_anomaly:
             state.anomalies += 1
-        return EngineRecord(key=key, status=LIVE, record=record)
+        return EngineRecord(key=key, status=SeriesStatus.LIVE, record=record)
 
     def ingest(
         self, batch: Iterable[Tuple[Hashable, float]]
@@ -239,6 +356,13 @@ class MultiSeriesEngine:
         Observations are applied in input order (so multiple values for the
         same key within one batch are processed oldest first) and the
         derived records are returned in the same order.
+
+        Application is *not* transactional: a rejected observation (e.g. a
+        non-finite value, during warmup or live) raises out of the batch
+        with every earlier observation already applied and every later one
+        unapplied.  Callers that need to resume should sanitize values up
+        front, or re-submit only the tail of the batch that follows the
+        offending observation.
         """
         process = self.process
         return [process(key, value) for key, value in batch]
@@ -272,7 +396,7 @@ class MultiSeriesEngine:
         latencies = state.latencies.to_array()
         return SeriesStats(
             key=key,
-            status=LIVE if state.live else WARMING,
+            status=SeriesStatus.LIVE if state.live else SeriesStatus.WARMING,
             points=state.points,
             anomalies=state.anomalies,
             latency=(
@@ -285,7 +409,9 @@ class MultiSeriesEngine:
     def fleet_stats(self) -> FleetStats:
         """Aggregate statistics across every series in the fleet."""
         per_series = {key: self.series_stats(key) for key in self._series}
-        live = sum(1 for stats in per_series.values() if stats.status == LIVE)
+        live = sum(
+            1 for stats in per_series.values() if stats.status == SeriesStatus.LIVE
+        )
         return FleetStats(
             series_total=len(per_series),
             series_live=live,
@@ -302,7 +428,8 @@ class MultiSeriesEngine:
 
         The checkpoint is an independent deep copy: later ingests do not
         mutate it, and it can be restored any number of times (or pickled
-        to disk by the caller).
+        to disk by the caller).  For a checkpoint that survives process
+        boundaries and carries its own configuration, use :meth:`save`.
         """
         return copy.deepcopy(self._series)
 
@@ -317,3 +444,75 @@ class MultiSeriesEngine:
         ):
             raise TypeError("checkpoint must come from MultiSeriesEngine.snapshot()")
         self._series = copy.deepcopy(checkpoint)
+
+    def save(self, path) -> None:
+        """Write a portable versioned checkpoint to ``path``.
+
+        The file carries ``{format_version, engine_spec, series}``: the
+        declarative :class:`EngineSpec` (as a plain dict) plus the full
+        per-series state, so :meth:`load` can rebuild an equivalent engine
+        in a fresh process from the file alone and continue the stream
+        bit-identically.  Only spec-built engines can be saved -- a factory
+        callable has no portable representation.
+
+        The container format is pickle (the numeric per-series state has no
+        flat representation), so checkpoint files carry pickle's trust
+        model: :meth:`load` must only be given files from trusted sources.
+        """
+        if self.spec is None:
+            raise ValueError(
+                "only spec-built engines can be saved: construct via "
+                "MultiSeriesEngine.from_spec() (or for_oneshotstl()) "
+                "instead of a pipeline factory"
+            )
+        payload = {
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "engine_spec": self.spec.to_dict(),
+            "series": self._series,
+        }
+        with open(Path(path), "wb") as stream:
+            pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def load(cls, path) -> "MultiSeriesEngine":
+        """Rebuild an engine from a checkpoint written by :meth:`save`.
+
+        The engine is reconstructed from the embedded spec (via the
+        component registry), then the per-series state is installed, so the
+        restored engine continues the stream exactly where :meth:`save`
+        left off.  A checkpoint whose ``format_version`` differs from this
+        build's :data:`CHECKPOINT_FORMAT_VERSION` is rejected with
+        ``ValueError``.
+
+        .. warning:: Checkpoints are pickle files; unpickling runs before
+           any validation can happen, so only load checkpoints you trust
+           (i.e. that your own deployment saved).
+        """
+        with open(Path(path), "rb") as stream:
+            payload = pickle.load(stream)
+        if not isinstance(payload, dict) or "format_version" not in payload:
+            raise ValueError(
+                f"{path!s} is not a MultiSeriesEngine checkpoint "
+                "(missing format_version)"
+            )
+        version = payload["format_version"]
+        if version != CHECKPOINT_FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint format_version {version!r} is not supported by "
+                f"this build (expected {CHECKPOINT_FORMAT_VERSION}); "
+                "re-save the checkpoint with a matching version"
+            )
+        try:
+            spec_data = payload["engine_spec"]
+            series = payload["series"]
+        except KeyError as error:
+            raise ValueError(
+                f"checkpoint is missing required section {error.args[0]!r}"
+            ) from None
+        engine = cls.from_spec(EngineSpec.from_dict(spec_data))
+        if not isinstance(series, dict) or not all(
+            isinstance(state, _SeriesState) for state in series.values()
+        ):
+            raise ValueError("checkpoint per-series state is malformed")
+        engine._series = series
+        return engine

@@ -5,13 +5,20 @@ consumers described in the paper's Section 4: a residual-based anomaly
 scorer and the periodic-continuation forecaster.  It is the object a
 downstream user would embed in a monitoring service, and it is what the
 example applications use.
+
+Pipelines are **spec-native**: :meth:`StreamingPipeline.from_spec` builds
+one from a declarative :class:`~repro.specs.PipelineSpec` (plain data,
+JSON round-trippable), and :attr:`StreamingPipeline.spec` reports the spec
+of a pipeline whose components are registered -- which is what lets the
+multi-series engine persist its configuration inside a portable
+checkpoint.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
+
+from dataclasses import dataclass
 
 from repro.anomaly.nsigma import NSigma
 from repro.decomposition.base import OnlineDecomposer
@@ -50,14 +57,62 @@ class StreamingPipeline:
         Any online decomposer (OneShotSTL, OnlineSTL, a windowed batch
         method, ...).
     anomaly_threshold:
-        NSigma threshold applied to the decomposed residual.
+        NSigma threshold applied to the decomposed residual (ignored when
+        an explicit ``scorer`` is passed).
+    scorer:
+        Optional streaming scorer instance (``update(value) -> verdict``
+        with ``score`` / ``is_anomaly`` fields); defaults to
+        ``NSigma(anomaly_threshold)``.
     """
 
-    def __init__(self, decomposer: OnlineDecomposer, anomaly_threshold: float = 5.0):
+    def __init__(
+        self,
+        decomposer: OnlineDecomposer,
+        anomaly_threshold: float = 5.0,
+        scorer=None,
+    ):
         self.decomposer = decomposer
-        self.scorer = NSigma(anomaly_threshold)
+        self.scorer = scorer if scorer is not None else NSigma(anomaly_threshold)
         self._index = 0
         self._initialized = False
+        self._spec = None
+
+    # -------------------------------------------------------- configuration
+
+    @classmethod
+    def from_spec(cls, spec) -> "StreamingPipeline":
+        """Build a fresh pipeline from a :class:`~repro.specs.PipelineSpec`."""
+        from repro.specs import PipelineSpec
+
+        if not isinstance(spec, PipelineSpec):
+            raise TypeError(
+                f"from_spec() expects a PipelineSpec, got {type(spec).__name__}"
+            )
+        pipeline = cls(spec.decomposer.build(), scorer=spec.detector.build())
+        pipeline._spec = spec
+        return pipeline
+
+    @property
+    def spec(self):
+        """The :class:`~repro.specs.PipelineSpec` describing this pipeline.
+
+        For spec-built pipelines this is the spec that was used; for
+        hand-constructed ones it is derived from the components' registry
+        names and ``get_params()``.  ``None`` when the configuration cannot
+        be expressed declaratively (unregistered component classes or
+        non-primitive constructor arguments).
+        """
+        if self._spec is not None:
+            return self._spec
+        from repro.specs import DecomposerSpec, DetectorSpec, PipelineSpec, spec_of
+
+        decomposer_spec = spec_of(self.decomposer, DecomposerSpec)
+        detector_spec = spec_of(self.scorer, DetectorSpec)
+        if decomposer_spec is None or detector_spec is None:
+            return None
+        return PipelineSpec(decomposer=decomposer_spec, detector=detector_spec)
+
+    # ------------------------------------------------------------ streaming
 
     def initialize(self, values) -> None:
         """Run the decomposer's initialization phase and warm up the scorer."""
@@ -69,10 +124,26 @@ class StreamingPipeline:
         self._initialized = True
 
     def process(self, value: float) -> StreamRecord:
-        """Consume one observation and return the derived record."""
+        """Consume one observation and return the derived record.
+
+        Non-finite inputs are rejected with ``ValueError`` before they can
+        reach (and silently poison) the decomposer's solver state.  The one
+        sanctioned exception is NaN fed to a decomposer that declares
+        ``supports_missing`` (OneShotSTL): there NaN is the documented
+        missing-value marker and is imputed by the model itself.
+        """
         if not self._initialized:
             raise RuntimeError("initialize() must be called before process()")
-        point = self.decomposer.update(float(value))
+        value = float(value)
+        if not np.isfinite(value) and not (
+            np.isnan(value) and getattr(self.decomposer, "supports_missing", False)
+        ):
+            raise ValueError(
+                f"process() received a non-finite value ({value}); only "
+                "decomposers with missing-value support accept NaN, and "
+                "infinities are never valid observations"
+            )
+        point = self.decomposer.update(value)
         # Score the decomposer's *detection* residual when it exposes one:
         # OneShotSTL's seasonality-shift search rewrites the residual of a
         # point it re-explains as a shift, so scoring the post-correction

@@ -133,6 +133,42 @@ class TestStreamingPipeline:
         record = pipeline.process(float(data["values"][24 * 6]))
         assert record.detection_residual == record.residual
 
+    def test_process_rejects_infinite_values(self):
+        """Infinities must never reach the solver state."""
+        data = make_seasonal_series(24 * 8, 24, seed=16)
+        for decomposer in (OneShotSTL(24, shift_window=0), OnlineSTL(24)):
+            pipeline = StreamingPipeline(decomposer)
+            pipeline.initialize(data["values"][: 24 * 6])
+            for bad in (float("inf"), float("-inf")):
+                with pytest.raises(ValueError, match="non-finite"):
+                    pipeline.process(bad)
+            # The pipeline stays healthy after the rejection.
+            record = pipeline.process(float(data["values"][24 * 6]))
+            assert np.isfinite(record.residual)
+
+    def test_process_rejects_nan_without_missing_support(self):
+        """NaN is only a missing-value marker for decomposers that impute it.
+
+        OnlineSTL has no imputation: a NaN would propagate into its seasonal
+        buffer and trend window and silently poison every later point.
+        """
+        data = make_seasonal_series(24 * 8, 24, seed=17)
+        pipeline = StreamingPipeline(OnlineSTL(24))
+        pipeline.initialize(data["values"][: 24 * 6])
+        assert not OnlineSTL(24).supports_missing
+        with pytest.raises(ValueError, match="non-finite"):
+            pipeline.process(float("nan"))
+
+    def test_process_imputes_nan_with_missing_support(self):
+        """OneShotSTL declares missing-value support, so NaN streams through."""
+        data = make_seasonal_series(24 * 8, 24, seed=18)
+        pipeline = StreamingPipeline(OneShotSTL(24, shift_window=0))
+        pipeline.initialize(data["values"][: 24 * 6])
+        assert OneShotSTL(24).supports_missing
+        record = pipeline.process(float("nan"))
+        assert np.isfinite(record.value)
+        assert np.isfinite(record.residual)
+
     def test_pipeline_flags_spike_with_shift_search_enabled(self):
         """A genuine spike must be flagged even when the shift search runs."""
         data = make_seasonal_series(24 * 10, 24, seed=15, noise=0.05)
