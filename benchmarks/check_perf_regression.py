@@ -1,0 +1,120 @@
+"""Perf-regression gate for the engine throughput benchmark.
+
+Compares a fresh ``BENCH_engine.json`` (written by
+``bench_engine_throughput.py``) against the committed baseline and fails --
+exit code 1 -- if large-fleet throughput regressed beyond the tolerance.
+
+Because CI machines and the machine that produced the committed baseline
+run at different absolute speeds, the gated metric is *normalized*: the
+1000-series engine throughput divided by the raw single-series kernel
+throughput measured in the same run.  That ratio captures how well the
+fleet kernel amortizes the per-point cost across a large fleet -- the
+property this gate protects -- while machine speed cancels out.  A ratio
+drop of more than ``--tolerance`` (default 0.30, i.e. 30%) vs the baseline
+fails the gate::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+    PYTHONPATH=src python benchmarks/check_perf_regression.py
+
+The two documents must come from the same workload (the committed baseline
+is a *full* run; ``--smoke`` numbers are not comparable and are rejected).
+The committed baseline lives at ``benchmarks/BENCH_engine.json`` (the
+results directory is gitignored; re-running the benchmark never clobbers
+the baseline).  Refresh it deliberately after a change that moves
+throughput::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+    cp benchmarks/results/BENCH_engine.json benchmarks/BENCH_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: fleet size whose normalized throughput is gated
+GATED_FLEET = "1000"
+
+
+def normalized_ratio(document: dict, source: str) -> float:
+    """1000-series engine throughput relative to the raw kernel's."""
+    try:
+        fleet = document["points_per_sec"][GATED_FLEET]
+        raw = document["raw_kernel_points_per_sec"]
+    except KeyError as error:
+        raise SystemExit(
+            f"{source}: missing {error.args[0]!r}; regenerate with "
+            "bench_engine_throughput.py (the workload must include the "
+            f"{GATED_FLEET}-series case)"
+        )
+    if raw <= 0:
+        raise SystemExit(f"{source}: non-positive raw kernel throughput")
+    return fleet / raw
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).parent / "BENCH_engine.json",
+        help="committed baseline JSON (default: benchmarks/BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=Path(__file__).parent / "results" / "BENCH_engine.json",
+        help="freshly measured JSON (default: benchmarks/results/BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop of the normalized ratio (default 0.30)",
+    )
+    arguments = parser.parse_args(argv)
+
+    baseline = json.loads(arguments.baseline.read_text())
+    current = json.loads(arguments.current.read_text())
+    for field in ("workload", "scale"):
+        baseline_value = baseline.get(field)
+        current_value = current.get(field)
+        if baseline_value != current_value:
+            raise SystemExit(
+                f"{field} mismatch: baseline is {baseline_value!r} but the "
+                f"current run is {current_value!r}; the two regimes are not "
+                "comparable.  Re-run bench_engine_throughput.py with the "
+                "baseline's regime (no --smoke, default REPRO_BENCH_SCALE, "
+                "for the committed baseline)."
+            )
+    baseline_ratio = normalized_ratio(baseline, str(arguments.baseline))
+    current_ratio = normalized_ratio(current, str(arguments.current))
+    floor = baseline_ratio * (1.0 - arguments.tolerance)
+
+    print(
+        f"{GATED_FLEET}-series throughput / raw kernel throughput:\n"
+        f"  baseline  {baseline_ratio:8.3f}"
+        f"  ({baseline['points_per_sec'][GATED_FLEET]:12.0f} pts/s,"
+        f" workload={baseline.get('workload', '?')})\n"
+        f"  current   {current_ratio:8.3f}"
+        f"  ({current['points_per_sec'][GATED_FLEET]:12.0f} pts/s,"
+        f" workload={current.get('workload', '?')})\n"
+        f"  floor     {floor:8.3f}  (tolerance {arguments.tolerance:.0%})"
+    )
+    if current_ratio < floor:
+        print(
+            f"FAIL: {GATED_FLEET}-series normalized throughput regressed "
+            f"{1.0 - current_ratio / baseline_ratio:.0%} vs the committed "
+            "baseline (allowed: "
+            f"{arguments.tolerance:.0%}).  If the regression is intentional, "
+            "refresh benchmarks/BENCH_engine.json (see module docstring)."
+        )
+        return 1
+    print("OK: no large-fleet throughput regression beyond tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

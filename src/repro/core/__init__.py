@@ -11,10 +11,15 @@ Public classes
     The online O(1)-per-point decomposition (Algorithms 4 + 5), including the
     seasonality-shift handling of Section 3.4 and the forecasting extension
     of Section 4.
+:class:`FleetKernel`
+    Columnar (struct-of-arrays) form of ``n`` OneShotSTL instances sharing
+    one configuration: the whole fleet advances with a handful of array
+    operations per point, bit-identical to the scalar path.
 :func:`select_lambda`
     The paper's training-window procedure for choosing ``lambda``.
 """
 
+from repro.core.fleet import ColumnarNSigma, FleetKernel
 from repro.core.joint_stl import JointSTL
 from repro.core.lambda_selection import DEFAULT_LAMBDA_GRID, select_lambda
 from repro.core.modified_joint_stl import ModifiedJointSTL
@@ -27,6 +32,8 @@ from repro.core.online_system import (
 from repro.core.oneshotstl import OneShotSTL
 
 __all__ = [
+    "ColumnarNSigma",
+    "FleetKernel",
     "JointSTL",
     "ModifiedJointSTL",
     "NSigma",

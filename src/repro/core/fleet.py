@@ -1,0 +1,637 @@
+"""Columnar fleet kernel: one array op advances every OneShotSTL series.
+
+A production fleet runs the O(1) online decomposition on thousands of
+metrics at once.  Advancing each series through its own Python
+:class:`~repro.core.oneshotstl.OneShotSTL` instance pays the interpreter
+cost ``n`` times per point; this module instead keeps the *whole fleet's*
+state in struct-of-arrays form and advances every series with a handful of
+NumPy operations per IRLS iteration:
+
+* the per-iteration incremental solvers become one
+  :class:`~repro.solvers.batched_ldlt.BatchedIncrementalLDLT` per IRLS
+  iteration (``(n, w, w)`` corrected trailing blocks);
+* seasonal buffers, trends, phase counters and the residual monitor's
+  Welford statistics become contiguous ``(n, ...)`` arrays.
+
+Because every array operation is elementwise over the series axis and is
+applied in exactly the order the scalar model performs it, the kernel's
+outputs equal the scalar path's outputs *exactly* -- the oracle tests
+assert float-for-float equality, shift searches and all.
+
+Series whose seasonality-shift search triggers diverge from the lockstep
+batch: those (rare) series fall back to the scalar search
+(:func:`repro.core.oneshotstl._search_best_shift` -- the same code the
+scalar model runs), reading their pre-advance state back out of the batched
+solvers' undo level, and the chosen state is scattered back into the
+columnar arrays.  The fleet therefore pays the expensive search only for
+the series that trigger it, exactly like the scalar model does.
+
+The kernel is deliberately dumb about membership: it packs already-warm
+scalar models (:meth:`FleetKernel.pack`), extracts any member back into an
+equivalent scalar model (:meth:`FleetKernel.extract` /
+:meth:`FleetKernel.write_into`), and advances all or a subset of columns
+(:meth:`FleetKernel.update`).  Grouping series by configuration, lazy
+absorption and checkpoint (de)materialization live in the streaming engine
+(:mod:`repro.streaming.engine`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.nsigma import NSigma
+from repro.core.oneshotstl import (
+    OneShotSTL,
+    _advance_states,
+    _IterationState,
+    _search_best_shift,
+)
+from repro.core.online_system import HALF_BANDWIDTH, ContributionWorkspace
+from repro.solvers.batched_ldlt import BatchedIncrementalLDLT
+
+__all__ = ["ColumnarNSigma", "FleetKernel", "FleetUpdate"]
+
+#: local trailing-block coordinates of the steady-state per-point update
+#: pattern (ContributionWorkspace offsets shifted to the appended trend
+#: variable, which always sits at local index ``HALF_BANDWIDTH``).
+_PATTERN_ROWS = HALF_BANDWIDTH + ContributionWorkspace._ROW_OFFSETS
+_PATTERN_COLS = HALF_BANDWIDTH + ContributionWorkspace._COL_OFFSETS
+
+
+class ColumnarNSigma:
+    """Struct-of-arrays form of ``n`` independent :class:`NSigma` scorers.
+
+    All members must share ``threshold`` and ``minimum_std`` (they come
+    from one pipeline spec).  ``score``/``update`` vectorize the scalar
+    scorer's exact operation sequence over the series axis, so scores and
+    verdicts equal the scalar scorers' exactly.
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        minimum_std: float,
+        count: np.ndarray,
+        mean: np.ndarray,
+        m2: np.ndarray,
+    ):
+        self.threshold = float(threshold)
+        self.minimum_std = float(minimum_std)
+        self.count = np.asarray(count, dtype=np.int64)
+        self.mean = np.asarray(mean, dtype=float)
+        self.m2 = np.asarray(m2, dtype=float)
+
+    @classmethod
+    def empty(cls, threshold: float, minimum_std: float) -> "ColumnarNSigma":
+        return cls(
+            threshold,
+            minimum_std,
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0),
+            np.zeros(0),
+        )
+
+    @classmethod
+    def pack(cls, scorers: Sequence[NSigma]) -> "ColumnarNSigma":
+        """Lift scalar scorers into columnar form (scalars left untouched)."""
+        if not scorers:
+            raise ValueError("pack() needs at least one scorer")
+        threshold = scorers[0].threshold
+        minimum_std = scorers[0].minimum_std
+        for index, scorer in enumerate(scorers):
+            if (
+                scorer.threshold != threshold
+                or scorer.minimum_std != minimum_std
+            ):
+                raise ValueError(
+                    f"scorer {index} has different parameters; a columnar "
+                    "batch requires a uniform threshold and minimum_std"
+                )
+        return cls(
+            threshold,
+            minimum_std,
+            np.array([scorer._count for scorer in scorers], dtype=np.int64),
+            np.array([scorer._mean for scorer in scorers], dtype=float),
+            np.array([scorer._m2 for scorer in scorers], dtype=float),
+        )
+
+    @property
+    def n_series(self) -> int:
+        return self.count.shape[0]
+
+    def extract(self, index: int) -> NSigma:
+        """Materialize member ``index`` as an equivalent scalar scorer."""
+        scorer = NSigma(self.threshold, self.minimum_std)
+        self.write_into(index, scorer)
+        return scorer
+
+    def write_into(self, index: int, scorer: NSigma) -> None:
+        """Overwrite a scalar scorer's state with member ``index``."""
+        scorer._count = int(self.count[index])
+        scorer._mean = float(self.mean[index])
+        scorer._m2 = float(self.m2[index])
+
+    def load(self, index: int, scorer: NSigma) -> None:
+        """Overwrite member ``index`` with a scalar scorer's state."""
+        self.count[index] = scorer._count
+        self.mean[index] = scorer._mean
+        self.m2[index] = scorer._m2
+
+    def append(self, other: "ColumnarNSigma") -> None:
+        if (
+            other.threshold != self.threshold
+            or other.minimum_std != self.minimum_std
+        ):
+            raise ValueError("parameter mismatch between columnar batches")
+        self.count = np.concatenate([self.count, other.count])
+        self.mean = np.concatenate([self.mean, other.mean])
+        self.m2 = np.concatenate([self.m2, other.m2])
+
+    def select(self, columns: np.ndarray) -> "ColumnarNSigma":
+        return ColumnarNSigma(
+            self.threshold,
+            self.minimum_std,
+            self.count[columns],
+            self.mean[columns],
+            self.m2[columns],
+        )
+
+    def assign(self, columns: np.ndarray, other: "ColumnarNSigma") -> None:
+        self.count[columns] = other.count
+        self.mean[columns] = other.mean
+        self.m2[columns] = other.m2
+
+    def score(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Score without updating; returns ``(scores, is_anomaly)`` arrays."""
+        variance = self.m2 / np.maximum(self.count, 1)
+        std = np.sqrt(np.maximum(variance, 0.0))
+        std = np.maximum(std, self.minimum_std)
+        scores = np.abs(values - self.mean) / std
+        # A scorer that has seen nothing yet returns (0.0, False), exactly
+        # like the scalar scorer's count == 0 guard.
+        fresh = self.count == 0
+        if fresh.any():
+            scores = np.where(fresh, 0.0, scores)
+        return scores, scores > self.threshold
+
+    def update(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Score then fold ``values`` into the running Welford statistics."""
+        scores, flags = self.score(values)
+        self.count += 1
+        delta = values - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (values - self.mean)
+        return scores, flags
+
+
+class FleetUpdate:
+    """Per-point outputs of one :meth:`FleetKernel.update` call.
+
+    All fields are arrays over the updated columns, in column order:
+    ``value`` carries the (possibly imputed) observation, ``residual`` the
+    post-shift-search residual and ``detection_residual`` the pre-search
+    residual that downstream anomaly scorers must consume (the same
+    contract as the scalar model's ``last_detection_residual``).
+    """
+
+    __slots__ = ("value", "trend", "seasonal", "residual", "detection_residual")
+
+    def __init__(self, value, trend, seasonal, residual, detection_residual):
+        self.value = value
+        self.trend = trend
+        self.seasonal = seasonal
+        self.residual = residual
+        self.detection_residual = detection_residual
+
+
+class _BatchedIterationState:
+    """Columnar counterpart of one per-IRLS-iteration ``_IterationState``."""
+
+    __slots__ = ("solver", "previous_trend", "before_previous_trend")
+
+    def __init__(
+        self,
+        solver: BatchedIncrementalLDLT,
+        previous_trend: np.ndarray,
+        before_previous_trend: np.ndarray,
+    ):
+        self.solver = solver
+        self.previous_trend = previous_trend
+        self.before_previous_trend = before_previous_trend
+
+
+class FleetKernel:
+    """Columnar OneShotSTL state for ``n`` series sharing one configuration.
+
+    Use :meth:`pack` to build a kernel from live scalar models; all members
+    must share the constructor hyper-parameters (they normally come from
+    one :class:`~repro.specs.PipelineSpec`), be initialized, be past the
+    solver warm-up (every per-iteration solver in incremental mode, which
+    holds after ``3 * HALF_BANDWIDTH / 2`` online points) and use the
+    default (non-custom) initializer path.  :meth:`eligible` reports
+    whether a model can currently be packed.
+    """
+
+    def __init__(self, params: dict, n_series: int):
+        self.period = int(params["period"])
+        self.lambda1 = float(params["lambda1"])
+        self.lambda2 = float(params["lambda2"])
+        self.iterations = int(params["iterations"])
+        self.shift_window = int(params["shift_window"])
+        self.shift_threshold = float(params["shift_threshold"])
+        self.epsilon = float(params["epsilon"])
+        self._n = int(n_series)
+        # Scalar workspace shared by the per-series fallback paths.
+        self._workspace = ContributionWorkspace(self.lambda1, self.lambda2)
+
+    # ----------------------------------------------------------- construction
+
+    @staticmethod
+    def eligible(model) -> bool:
+        """Whether ``model`` is a packable, warm OneShotSTL instance."""
+        if type(model) is not OneShotSTL:
+            return False
+        if not getattr(model, "_initialized", False) or model._initializer is not None:
+            return False
+        return all(
+            state.solver.is_incremental for state in model._iterations_state
+        )
+
+    @classmethod
+    def pack(cls, models: Sequence[OneShotSTL]) -> "FleetKernel":
+        """Lift warm scalar models into one columnar kernel.
+
+        The scalar instances are left untouched (their state is copied); a
+        model that later needs to leave the batch is rebuilt with
+        :meth:`extract` or :meth:`write_into`.
+        """
+        if not models:
+            raise ValueError("pack() needs at least one model")
+        reference = models[0].get_params()
+        for index, model in enumerate(models):
+            if not cls.eligible(model):
+                raise ValueError(
+                    f"model {index} is not packable (must be an initialized "
+                    "OneShotSTL past solver warm-up, without a custom "
+                    "initializer)"
+                )
+            if model.get_params() != reference:
+                raise ValueError(
+                    f"model {index} has different hyper-parameters; a fleet "
+                    "kernel requires a uniform configuration"
+                )
+        kernel = cls(reference, len(models))
+        kernel.seasonal_buffer = np.array(
+            [model._seasonal_buffer for model in models], dtype=float
+        )
+        kernel.global_index = np.array(
+            [model._global_index for model in models], dtype=np.int64
+        )
+        kernel.points_processed = np.array(
+            [model._points_processed for model in models], dtype=np.int64
+        )
+        kernel.last_trend = np.array(
+            [model._last_trend for model in models], dtype=float
+        )
+        kernel.last_detection_residual = np.array(
+            [model._last_detection_residual for model in models], dtype=float
+        )
+        kernel.last_applied_shift = np.array(
+            [model._last_applied_shift for model in models], dtype=np.int64
+        )
+        kernel.monitor = ColumnarNSigma.pack(
+            [model._residual_monitor for model in models]
+        )
+        kernel.iteration_states = []
+        for iteration in range(kernel.iterations):
+            states = [model._iterations_state[iteration] for model in models]
+            kernel.iteration_states.append(
+                _BatchedIterationState(
+                    solver=BatchedIncrementalLDLT.pack(
+                        [state.solver for state in states]
+                    ),
+                    previous_trend=np.array(
+                        [state.previous_trend for state in states], dtype=float
+                    ),
+                    before_previous_trend=np.array(
+                        [state.before_previous_trend for state in states],
+                        dtype=float,
+                    ),
+                )
+            )
+        return kernel
+
+    @property
+    def n_series(self) -> int:
+        return self._n
+
+    def get_params(self) -> dict:
+        """The uniform OneShotSTL constructor parameters of the fleet."""
+        return {
+            "period": self.period,
+            "lambda1": self.lambda1,
+            "lambda2": self.lambda2,
+            "iterations": self.iterations,
+            "shift_window": self.shift_window,
+            "shift_threshold": self.shift_threshold,
+            "epsilon": self.epsilon,
+        }
+
+    # ------------------------------------------------ scalar interoperability
+
+    def extract(self, index: int) -> OneShotSTL:
+        """Materialize member ``index`` as an equivalent scalar model."""
+        model = OneShotSTL(**self.get_params())
+        model._initialized = True
+        model._seasonal_buffer = self.seasonal_buffer[index].copy()
+        model._workspace = ContributionWorkspace(self.lambda1, self.lambda2)
+        model._residual_monitor = NSigma(self.shift_threshold)
+        model._iterations_state = [
+            _IterationState(solver=None, previous_trend=0.0, before_previous_trend=0.0)
+            for _ in range(self.iterations)
+        ]
+        self.write_into(index, model)
+        return model
+
+    def write_into(self, index: int, model: OneShotSTL) -> None:
+        """Overwrite a live scalar model's state with member ``index``.
+
+        The model keeps its identity (and its workspace/initializer
+        attributes); only the evolving decomposition state is written.
+        """
+        model._seasonal_buffer[:] = self.seasonal_buffer[index]
+        model._global_index = int(self.global_index[index])
+        model._points_processed = int(self.points_processed[index])
+        model._last_trend = float(self.last_trend[index])
+        model._last_detection_residual = float(
+            self.last_detection_residual[index]
+        )
+        model._last_applied_shift = int(self.last_applied_shift[index])
+        self.monitor.write_into(index, model._residual_monitor)
+        for iteration, batched in enumerate(self.iteration_states):
+            state = model._iterations_state[iteration]
+            state.solver = batched.solver.extract(index)
+            state.previous_trend = float(batched.previous_trend[index])
+            state.before_previous_trend = float(
+                batched.before_previous_trend[index]
+            )
+
+    def load(self, index: int, model: OneShotSTL) -> None:
+        """Overwrite member ``index`` with a scalar model's state."""
+        self.seasonal_buffer[index] = model._seasonal_buffer
+        self.global_index[index] = model._global_index
+        self.points_processed[index] = model._points_processed
+        self.last_trend[index] = model._last_trend
+        self.last_detection_residual[index] = model._last_detection_residual
+        self.last_applied_shift[index] = model._last_applied_shift
+        self.monitor.load(index, model._residual_monitor)
+        for iteration, batched in enumerate(self.iteration_states):
+            state = model._iterations_state[iteration]
+            batched.solver.load(index, state.solver)
+            batched.previous_trend[index] = state.previous_trend
+            batched.before_previous_trend[index] = state.before_previous_trend
+
+    def unpack(self) -> list[OneShotSTL]:
+        """Materialize every member as an independent scalar model."""
+        return [self.extract(index) for index in range(self._n)]
+
+    # ------------------------------------------------------ batch membership
+
+    def append(self, other: "FleetKernel") -> None:
+        """Append the members of ``other`` (same configuration required)."""
+        if other.get_params() != self.get_params():
+            raise ValueError("configuration mismatch between fleet kernels")
+        self.seasonal_buffer = np.concatenate(
+            [self.seasonal_buffer, other.seasonal_buffer]
+        )
+        self.global_index = np.concatenate([self.global_index, other.global_index])
+        self.points_processed = np.concatenate(
+            [self.points_processed, other.points_processed]
+        )
+        self.last_trend = np.concatenate([self.last_trend, other.last_trend])
+        self.last_detection_residual = np.concatenate(
+            [self.last_detection_residual, other.last_detection_residual]
+        )
+        self.last_applied_shift = np.concatenate(
+            [self.last_applied_shift, other.last_applied_shift]
+        )
+        self.monitor.append(other.monitor)
+        for mine, theirs in zip(self.iteration_states, other.iteration_states):
+            mine.solver.append(theirs.solver)
+            mine.previous_trend = np.concatenate(
+                [mine.previous_trend, theirs.previous_trend]
+            )
+            mine.before_previous_trend = np.concatenate(
+                [mine.before_previous_trend, theirs.before_previous_trend]
+            )
+        self._n += other._n
+
+    def select(self, columns: np.ndarray) -> "FleetKernel":
+        """Gathered copy of the members at ``columns``."""
+        sub = FleetKernel(self.get_params(), len(columns))
+        sub.seasonal_buffer = self.seasonal_buffer[columns]
+        sub.global_index = self.global_index[columns]
+        sub.points_processed = self.points_processed[columns]
+        sub.last_trend = self.last_trend[columns]
+        sub.last_detection_residual = self.last_detection_residual[columns]
+        sub.last_applied_shift = self.last_applied_shift[columns]
+        sub.monitor = self.monitor.select(columns)
+        sub.iteration_states = [
+            _BatchedIterationState(
+                solver=state.solver.select(columns),
+                previous_trend=state.previous_trend[columns],
+                before_previous_trend=state.before_previous_trend[columns],
+            )
+            for state in self.iteration_states
+        ]
+        return sub
+
+    def assign(self, columns: np.ndarray, other: "FleetKernel") -> None:
+        """Scatter the members of ``other`` back into ``columns``."""
+        self.seasonal_buffer[columns] = other.seasonal_buffer
+        self.global_index[columns] = other.global_index
+        self.points_processed[columns] = other.points_processed
+        self.last_trend[columns] = other.last_trend
+        self.last_detection_residual[columns] = other.last_detection_residual
+        self.last_applied_shift[columns] = other.last_applied_shift
+        self.monitor.assign(columns, other.monitor)
+        for mine, theirs in zip(self.iteration_states, other.iteration_states):
+            mine.solver.assign(columns, theirs.solver)
+            mine.previous_trend[columns] = theirs.previous_trend
+            mine.before_previous_trend[columns] = theirs.before_previous_trend
+
+    # -------------------------------------------------------------- streaming
+
+    def update(
+        self, values: np.ndarray, columns: np.ndarray | None = None
+    ) -> FleetUpdate:
+        """Decompose one new observation per (selected) series.
+
+        ``values`` holds one observation per updated column (NaN marks a
+        missing observation and is imputed with the series' own one-step
+        forecast, exactly like the scalar model).  With ``columns=None``
+        every member advances; otherwise only the given columns advance
+        (gather -> batched update -> scatter), so a fleet whose series
+        arrive on different schedules still takes the array path.
+        """
+        if columns is not None:
+            columns = np.asarray(columns, dtype=np.intp)
+            sub = self.select(columns)
+            result = sub.update(np.asarray(values, dtype=float))
+            self.assign(columns, sub)
+            return result
+
+        n = self._n
+        values = np.asarray(values, dtype=float)
+        if values.shape != (n,):
+            raise ValueError(f"values must have shape ({n},)")
+
+        # Missing observations: impute with the model's own one-step
+        # forecast (latest trend + seasonal buffer at the current phase).
+        finite = np.isfinite(values)
+        if not finite.all():
+            phase = self.global_index % self.period
+            forecast = self.last_trend + self.seasonal_buffer[
+                np.arange(n), phase
+            ]
+            values = np.where(finite, values, forecast)
+
+        # Advance every series through the I IRLS iterations with one
+        # batched solver append + tail solve per iteration.  Pre-advance
+        # trend pairs are kept (rebound, not mutated) for the per-series
+        # shift-search fallback below.
+        anchor = self.seasonal_buffer[np.arange(n), self.global_index % self.period]
+        previous_trends = [
+            (state.previous_trend, state.before_previous_trend)
+            for state in self.iteration_states
+        ]
+        trend, seasonal = self._advance_batched(values, anchor)
+        residual = (values - trend) - seasonal
+        detection_residual = residual
+
+        chosen_shift = np.zeros(n, dtype=np.int64)
+        if self.shift_window > 0:
+            _, flagged = self.monitor.score(residual)
+            if flagged.any():
+                trend = trend.copy()
+                seasonal = seasonal.copy()
+                residual = residual.copy()
+                for index in np.flatnonzero(flagged):
+                    shift, chosen_trend, chosen_seasonal = (
+                        self._shift_search_fallback(
+                            int(index), float(values[index]), previous_trends
+                        )
+                    )
+                    chosen_shift[index] = shift
+                    trend[index] = chosen_trend
+                    seasonal[index] = chosen_seasonal
+                    residual[index] = (
+                        float(values[index]) - chosen_trend
+                    ) - chosen_seasonal
+                    if shift != 0:
+                        self.last_applied_shift[index] = shift
+
+        # The monitor tracks the *detection* residual so that one corrected
+        # point does not mask a persistent problem from the statistics.
+        self.monitor.update(detection_residual)
+        position = (self.global_index + chosen_shift) % self.period
+        self.seasonal_buffer[np.arange(n), position] = seasonal
+        self.global_index += 1
+        self.points_processed += 1
+        self.last_trend = trend
+        self.last_detection_residual = detection_residual
+        return FleetUpdate(values, trend, seasonal, residual, detection_residual)
+
+    # ------------------------------------------------------------- internals
+
+    def _advance_batched(
+        self, values: np.ndarray, anchor: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batched mirror of :func:`repro.core.oneshotstl._advance_states`.
+
+        Every elementwise operation happens in the same order as the scalar
+        code, so the results are identical float for float.
+        """
+        n = self._n
+        epsilon = self.epsilon
+        next_p = np.ones(n)
+        next_q = np.ones(n)
+        pattern_values = np.empty((n, _PATTERN_ROWS.size))
+        pattern_values[:, :4] = 1.0
+        rhs = np.empty((n, 2))
+        rhs[:, 0] = values
+        rhs[:, 1] = values + anchor
+        trend = seasonal = None
+        for state in self.iteration_states:
+            # Mirrors ContributionWorkspace.fill's steady-state pattern.
+            first_weight = self.lambda1 * next_p
+            second_weight = self.lambda2 * next_q
+            pattern_values[:, 4] = first_weight
+            pattern_values[:, 5] = first_weight
+            pattern_values[:, 6] = -first_weight
+            pattern_values[:, 7] = second_weight
+            pattern_values[:, 8] = 4.0 * second_weight
+            pattern_values[:, 9] = second_weight
+            pattern_values[:, 10] = -2.0 * second_weight
+            pattern_values[:, 11] = second_weight
+            pattern_values[:, 12] = -2.0 * second_weight
+            state.solver.extend(
+                2, _PATTERN_ROWS, _PATTERN_COLS, pattern_values, rhs
+            )
+            tail = state.solver.tail_solution(2)
+            trend = tail[:, 0]
+            seasonal = tail[:, 1]
+            next_p = 0.5 / np.maximum(np.abs(trend - state.previous_trend), epsilon)
+            next_q = 0.5 / np.maximum(
+                np.abs(
+                    trend
+                    - 2.0 * state.previous_trend
+                    + state.before_previous_trend
+                ),
+                epsilon,
+            )
+            state.before_previous_trend = state.previous_trend
+            state.previous_trend = trend
+        return trend, seasonal
+
+    def _shift_search_fallback(
+        self,
+        index: int,
+        value: float,
+        previous_trends: list[tuple[np.ndarray, np.ndarray]],
+    ) -> tuple[int, float, float]:
+        """Scalar shift search for one flagged series.
+
+        Reads the series' pre-advance state back out of the batched
+        solvers' undo level, runs the exact scalar candidate search, and
+        scatters the chosen state into the columnar arrays.  Returns
+        ``(chosen_shift, trend, seasonal)``.
+        """
+        states = [
+            _IterationState(
+                solver=batched.solver.extract_pre_extend(index),
+                previous_trend=float(previous[index]),
+                before_previous_trend=float(before_previous[index]),
+            )
+            for batched, (previous, before_previous) in zip(
+                self.iteration_states, previous_trends
+            )
+        ]
+        chosen_states, trend, seasonal, shift = _search_best_shift(
+            states,
+            value,
+            self.seasonal_buffer[index],
+            int(self.global_index[index]),
+            self.period,
+            self.shift_window,
+            int(self.points_processed[index]),
+            self._workspace,
+            self.epsilon,
+        )
+        for batched, state in zip(self.iteration_states, chosen_states):
+            batched.solver.load(index, state.solver)
+            batched.previous_trend[index] = state.previous_trend
+            batched.before_previous_trend[index] = state.before_previous_trend
+        return shift, trend, seasonal

@@ -60,6 +60,93 @@ class _IterationState:
         )
 
 
+def _advance_states(
+    states: list[_IterationState],
+    value: float,
+    anchor: float,
+    point_index: int,
+    workspace: ContributionWorkspace,
+    epsilon: float,
+) -> tuple[float, float]:
+    """Run the ``I`` IRLS iterations for one observation on ``states``.
+
+    This is the model's update math detached from any particular
+    :class:`OneShotSTL` instance: it consumes only the iteration states,
+    the observation, the seasonal anchor and the IRLS hyper-parameters, so
+    it is shared verbatim between the scalar model and the per-series
+    fallback path of the columnar :class:`repro.core.fleet.FleetKernel`.
+    """
+    next_p, next_q = 1.0, 1.0
+    trend_value = seasonal_value = 0.0
+    for state in states:
+        updates, rhs_new = workspace.fill(point_index, value, anchor, next_p, next_q)
+        # The workspace emits the same statically valid banded pattern
+        # for every point, so per-entry index validation is skipped.
+        state.solver.extend(2, updates, rhs_new, check_indices=False)
+        tail = state.solver.tail_solution(2)
+        trend_value = float(tail[0])
+        seasonal_value = float(tail[1])
+        next_p = 0.5 / max(abs(trend_value - state.previous_trend), epsilon)
+        next_q = 0.5 / max(
+            abs(
+                trend_value
+                - 2.0 * state.previous_trend
+                + state.before_previous_trend
+            ),
+            epsilon,
+        )
+        state.before_previous_trend = state.previous_trend
+        state.previous_trend = trend_value
+    return trend_value, seasonal_value
+
+
+def _search_best_shift(
+    states: list[_IterationState],
+    value: float,
+    seasonal_buffer: np.ndarray,
+    global_index: int,
+    period: int,
+    shift_window: int,
+    point_index: int,
+    workspace: ContributionWorkspace,
+    epsilon: float,
+) -> tuple[list[_IterationState], float, float, int]:
+    """Evaluate every candidate seasonality shift on *pre-advance* states.
+
+    ``states`` must not yet contain the current point (the caller rolls
+    back, or reads back a pre-extend snapshot); every candidate is
+    evaluated on copies, so ``states`` is left untouched.  Candidate 0 runs
+    first and deterministically reproduces the plain advance, so the
+    strict-< comparison keeps the original tie-breaking: a non-zero shift
+    is only chosen if it strictly reduces the absolute residual.
+
+    Returns ``(chosen_states, trend, seasonal, chosen_shift)``.
+    """
+    best = None
+    candidates = [0] + [
+        candidate
+        for candidate in range(-shift_window, shift_window + 1)
+        if candidate != 0
+    ]
+    for candidate in candidates:
+        trial_states = [state.copy() for state in states]
+        anchor = float(seasonal_buffer[(global_index + candidate) % period])
+        trial_trend, trial_seasonal = _advance_states(
+            trial_states, value, anchor, point_index, workspace, epsilon
+        )
+        trial_residual = value - trial_trend - trial_seasonal
+        if best is None or abs(trial_residual) < best[0]:
+            best = (
+                abs(trial_residual),
+                trial_states,
+                trial_trend,
+                trial_seasonal,
+                candidate,
+            )
+    _, chosen_states, trend_value, seasonal_value, chosen_shift = best
+    return chosen_states, trend_value, seasonal_value, chosen_shift
+
+
 @register_decomposer("oneshotstl")
 class OneShotSTL(OnlineDecomposer):
     """Online seasonal-trend decomposition with O(1) update complexity.
@@ -243,35 +330,24 @@ class OneShotSTL(OnlineDecomposer):
 
         if self.shift_window > 0 and self._residual_monitor.score(residual).is_anomaly:
             # Restore the pre-point state, then evaluate every candidate
-            # shift on copies.  Candidate 0 runs first and deterministically
-            # reproduces the advance above, so the strict-< comparison keeps
-            # the original tie-breaking: a non-zero shift is only chosen if
-            # it strictly reduces the absolute residual.
+            # shift on copies (see _search_best_shift for the tie-breaking).
             for state, (previous, before_previous) in zip(states, previous_trends):
                 state.solver.rollback()
                 state.previous_trend = previous
                 state.before_previous_trend = before_previous
-            best = None
-            candidates = [0] + [
-                candidate
-                for candidate in range(-self.shift_window, self.shift_window + 1)
-                if candidate != 0
-            ]
-            for candidate in candidates:
-                trial_states = [state.copy() for state in states]
-                trial_trend, trial_seasonal = self._advance(
-                    trial_states, value, candidate
+            chosen_states, trend_value, seasonal_value, chosen_shift = (
+                _search_best_shift(
+                    states,
+                    value,
+                    self._seasonal_buffer,
+                    self._global_index,
+                    self.period,
+                    self.shift_window,
+                    self._points_processed,
+                    self._workspace,
+                    self.epsilon,
                 )
-                trial_residual = value - trial_trend - trial_seasonal
-                if best is None or abs(trial_residual) < best[0]:
-                    best = (
-                        abs(trial_residual),
-                        trial_states,
-                        trial_trend,
-                        trial_seasonal,
-                        candidate,
-                    )
-            _, chosen_states, trend_value, seasonal_value, chosen_shift = best
+            )
             self._iterations_state = chosen_states
             residual = value - trend_value - seasonal_value
             if chosen_shift != 0:
@@ -324,30 +400,11 @@ class OneShotSTL(OnlineDecomposer):
         anchor = float(
             self._seasonal_buffer[(self._global_index + shift) % self.period]
         )
-        point_index = self._points_processed
-        workspace = self._workspace
-        epsilon = self.epsilon
-        next_p, next_q = 1.0, 1.0
-        trend_value = seasonal_value = 0.0
-        for state in states:
-            updates, rhs_new = workspace.fill(
-                point_index, value, anchor, next_p, next_q
-            )
-            # The workspace emits the same statically valid banded pattern
-            # for every point, so per-entry index validation is skipped.
-            state.solver.extend(2, updates, rhs_new, check_indices=False)
-            tail = state.solver.tail_solution(2)
-            trend_value = float(tail[0])
-            seasonal_value = float(tail[1])
-            next_p = 0.5 / max(abs(trend_value - state.previous_trend), epsilon)
-            next_q = 0.5 / max(
-                abs(
-                    trend_value
-                    - 2.0 * state.previous_trend
-                    + state.before_previous_trend
-                ),
-                epsilon,
-            )
-            state.before_previous_trend = state.previous_trend
-            state.previous_trend = trend_value
-        return trend_value, seasonal_value
+        return _advance_states(
+            states,
+            value,
+            anchor,
+            self._points_processed,
+            self._workspace,
+            self.epsilon,
+        )

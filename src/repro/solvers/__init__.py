@@ -11,6 +11,10 @@ subpackage provides:
 * :mod:`repro.solvers.incremental_ldlt` -- the O(1)-per-append incremental
   banded LDL^T solver (a generalization of the paper's OnlineDoolittle,
   Algorithm 4).
+* :mod:`repro.solvers.batched_ldlt` -- the struct-of-arrays batched form of
+  the same solver: ``n`` independent systems advanced in lockstep with one
+  array operation per elimination step, bit-for-bit equal to running ``n``
+  scalar solvers.
 """
 
 from repro.solvers.ldlt import (
@@ -20,9 +24,11 @@ from repro.solvers.ldlt import (
     solve_symmetric,
 )
 from repro.solvers.incremental_ldlt import IncrementalBandedLDLT
+from repro.solvers.batched_ldlt import BatchedIncrementalLDLT
 
 __all__ = [
     "BandedLDLT",
+    "BatchedIncrementalLDLT",
     "IncrementalBandedLDLT",
     "ldlt_factor",
     "ldlt_solve",

@@ -1,0 +1,380 @@
+"""Struct-of-arrays batched incremental banded LDL^T solver.
+
+:class:`BatchedIncrementalLDLT` advances ``n`` *independent* growing banded
+systems -- one per monitored series -- with a handful of NumPy array
+operations per append instead of a Python loop over ``n`` scalar
+:class:`~repro.solvers.incremental_ldlt.IncrementalBandedLDLT` instances.
+It is the linear-algebra substrate of the fleet kernel
+(:class:`repro.core.fleet.FleetKernel`): a thousand-series fleet pays one
+elimination sweep of ``(n, w, w)``-shaped arrays per point, so the per-point
+cost of the whole fleet approaches the cost of a single series.
+
+The state layout is columnar (struct of arrays): the corrected trailing
+block of every system is one contiguous ``(n, w, w)`` array, the corrected
+right-hand sides one ``(n, w)`` array.  Because each system is independent,
+every scalar operation of the sequential solver becomes one elementwise
+array operation over the leading ``n`` axis, applied in *exactly the same
+order* as the scalar kernel performs it.  Elementwise IEEE-754 double
+arithmetic is identical between Python floats and NumPy float64 (both are
+round-to-nearest binary64, and no reductions or fused operations are
+involved), so the batched solver reproduces the scalar solver's results
+exactly -- the test suite asserts equality on every path.
+
+Two deliberate differences from the scalar solver's *shape* (not values):
+
+* all member systems must already be in incremental mode (the dense warm-up
+  of a fresh stream is a few points long and stays on the scalar path;
+  :meth:`pack` lifts scalar solvers into the batch once they are warm);
+* coefficient updates are addressed in *local* trailing-block coordinates
+  (``0 .. w + num_new``) rather than absolute indices, because member
+  systems may have different absolute sizes (series go live at different
+  times) while sharing the same local update pattern.  Local index ``i``
+  corresponds to absolute index ``size - w + i`` of that member's system.
+
+:meth:`rollback` undoes the most recent :meth:`extend` for the whole batch
+in O(1) (the extend path rebinds rather than mutates the arrays), and
+:meth:`undo_state` exposes the saved pre-extend arrays so a caller can
+rebuild one member's pre-extend scalar state without rolling back the rest
+of the fleet -- which is how the fleet kernel retries a single series'
+seasonality-shift search while the other series keep their committed
+update.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.solvers.incremental_ldlt import IncrementalBandedLDLT
+
+__all__ = ["BatchedIncrementalLDLT"]
+
+
+class BatchedIncrementalLDLT:
+    """``n`` independent incremental banded solvers advanced in lockstep.
+
+    Instances are normally created with :meth:`pack` (from warm scalar
+    solvers) or :meth:`empty` (zero members, grown with :meth:`append`).
+
+    Parameters
+    ----------
+    half_bandwidth:
+        Half bandwidth ``w`` shared by every member system.
+    m_trail:
+        Corrected trailing blocks, shape ``(n, w, w)``.
+    bp_trail:
+        Corrected trailing right-hand sides, shape ``(n, w)``.
+    sizes:
+        Absolute system size of each member, shape ``(n,)`` (bookkeeping
+        only; the incremental representation itself is size independent).
+    """
+
+    def __init__(
+        self,
+        half_bandwidth: int,
+        m_trail: np.ndarray,
+        bp_trail: np.ndarray,
+        sizes: np.ndarray,
+    ):
+        if half_bandwidth < 1:
+            raise ValueError("half_bandwidth must be at least 1")
+        w = int(half_bandwidth)
+        m_trail = np.asarray(m_trail, dtype=float)
+        bp_trail = np.asarray(bp_trail, dtype=float)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if m_trail.ndim != 3 or m_trail.shape[1:] != (w, w):
+            raise ValueError(f"m_trail must have shape (n, {w}, {w})")
+        n = m_trail.shape[0]
+        if bp_trail.shape != (n, w):
+            raise ValueError(f"bp_trail must have shape ({n}, {w})")
+        if sizes.shape != (n,):
+            raise ValueError(f"sizes must have shape ({n},)")
+        self.half_bandwidth = w
+        self._m_trail = m_trail
+        self._bp_trail = bp_trail
+        self._sizes = sizes
+        #: saved pre-extend state references for :meth:`rollback`
+        self._undo: tuple | None = None
+
+    # ----------------------------------------------------------- construction
+
+    @classmethod
+    def empty(cls, half_bandwidth: int) -> "BatchedIncrementalLDLT":
+        """A batch with zero members (grown later with :meth:`append`)."""
+        w = int(half_bandwidth)
+        return cls(
+            w,
+            np.zeros((0, w, w)),
+            np.zeros((0, w)),
+            np.zeros(0, dtype=np.int64),
+        )
+
+    @classmethod
+    def pack(
+        cls, solvers: Sequence[IncrementalBandedLDLT]
+    ) -> "BatchedIncrementalLDLT":
+        """Lift warm scalar solvers into one columnar batch.
+
+        Every solver must already be in incremental mode and share the same
+        half bandwidth; the scalar instances are left untouched.
+        """
+        if not solvers:
+            raise ValueError("pack() needs at least one solver")
+        w = solvers[0].half_bandwidth
+        for index, solver in enumerate(solvers):
+            if solver.half_bandwidth != w:
+                raise ValueError(
+                    f"solver {index} has half bandwidth {solver.half_bandwidth}, "
+                    f"expected {w}"
+                )
+            if not solver.is_incremental:
+                raise ValueError(
+                    f"solver {index} is still in dense warm-up mode; only "
+                    "incremental-mode solvers can be packed"
+                )
+        m_trail = np.array([solver._m_trail for solver in solvers], dtype=float)
+        bp_trail = np.array([solver._bp_trail for solver in solvers], dtype=float)
+        sizes = np.array([solver.size for solver in solvers], dtype=np.int64)
+        return cls(w, m_trail, bp_trail, sizes)
+
+    @property
+    def n_series(self) -> int:
+        """Number of member systems."""
+        return self._m_trail.shape[0]
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Absolute system size of each member (copy)."""
+        return self._sizes.copy()
+
+    def copy(self) -> "BatchedIncrementalLDLT":
+        """Independent deep copy (the pending rollback level is dropped)."""
+        return BatchedIncrementalLDLT(
+            self.half_bandwidth,
+            self._m_trail.copy(),
+            self._bp_trail.copy(),
+            self._sizes.copy(),
+        )
+
+    # ------------------------------------------------ scalar interoperability
+
+    def extract(self, index: int) -> IncrementalBandedLDLT:
+        """Materialize member ``index`` as an equivalent scalar solver."""
+        return self._make_scalar(
+            self._m_trail[index], self._bp_trail[index], int(self._sizes[index])
+        )
+
+    def extract_pre_extend(self, index: int) -> IncrementalBandedLDLT:
+        """Scalar solver equal to member ``index`` *before* the last extend.
+
+        Requires an unconsumed undo level (i.e. :meth:`extend` was called
+        and neither :meth:`rollback` nor another state rebinding happened
+        since).  Used by the fleet kernel to rerun one series' point without
+        disturbing the rest of the batch.
+        """
+        if self._undo is None:
+            raise ValueError("no extend to read back (a single undo level is kept)")
+        m_trail, bp_trail, sizes = self._undo
+        return self._make_scalar(m_trail[index], bp_trail[index], int(sizes[index]))
+
+    def _make_scalar(
+        self, m_trail: np.ndarray, bp_trail: np.ndarray, size: int
+    ) -> IncrementalBandedLDLT:
+        solver = IncrementalBandedLDLT(self.half_bandwidth)
+        solver.size = size
+        solver._incremental = True
+        solver._dense_matrix = None
+        solver._dense_rhs = None
+        # ndarray.tolist() yields exact Python floats -- no value changes.
+        solver._m_trail = m_trail.tolist()
+        solver._bp_trail = bp_trail.tolist()
+        return solver
+
+    def load(self, index: int, solver: IncrementalBandedLDLT) -> None:
+        """Overwrite member ``index`` with a scalar solver's state."""
+        if not solver.is_incremental:
+            raise ValueError("only incremental-mode solvers can be loaded")
+        if solver.half_bandwidth != self.half_bandwidth:
+            raise ValueError("half bandwidth mismatch")
+        self._m_trail[index] = solver._m_trail
+        self._bp_trail[index] = solver._bp_trail
+        self._sizes[index] = solver.size
+
+    def unpack(self) -> list[IncrementalBandedLDLT]:
+        """Materialize every member as an independent scalar solver."""
+        return [self.extract(index) for index in range(self.n_series)]
+
+    # ------------------------------------------------------ batch membership
+
+    def append(self, other: "BatchedIncrementalLDLT") -> None:
+        """Append the members of ``other`` (e.g. a freshly packed batch)."""
+        if other.half_bandwidth != self.half_bandwidth:
+            raise ValueError("half bandwidth mismatch")
+        self._m_trail = np.concatenate([self._m_trail, other._m_trail])
+        self._bp_trail = np.concatenate([self._bp_trail, other._bp_trail])
+        self._sizes = np.concatenate([self._sizes, other._sizes])
+        self._undo = None
+
+    def select(self, columns: np.ndarray) -> "BatchedIncrementalLDLT":
+        """Gathered copy of the members at ``columns`` (fancy indexing)."""
+        return BatchedIncrementalLDLT(
+            self.half_bandwidth,
+            self._m_trail[columns],
+            self._bp_trail[columns],
+            self._sizes[columns],
+        )
+
+    def assign(self, columns: np.ndarray, other: "BatchedIncrementalLDLT") -> None:
+        """Scatter the members of ``other`` back into ``columns``."""
+        self._m_trail[columns] = other._m_trail
+        self._bp_trail[columns] = other._bp_trail
+        self._sizes[columns] = other._sizes
+        self._undo = None
+
+    # -------------------------------------------------------------- advancing
+
+    def rollback(self) -> None:
+        """Undo the most recent :meth:`extend` for the whole batch in O(1)."""
+        if self._undo is None:
+            raise ValueError("no extend to roll back (a single undo level is kept)")
+        self._m_trail, self._bp_trail, self._sizes = self._undo
+        self._undo = None
+
+    def extend(
+        self,
+        num_new: int,
+        rows: np.ndarray,
+        columns: np.ndarray,
+        values: np.ndarray,
+        rhs_new: np.ndarray,
+    ) -> None:
+        """Append ``num_new`` variables to every member system.
+
+        Parameters
+        ----------
+        num_new:
+            Number of appended variables per system
+            (``1 <= num_new <= half_bandwidth``).
+        rows, columns:
+            Shared coefficient-update positions in *local* trailing-block
+            coordinates ``[0, half_bandwidth + num_new)``, shape ``(k,)``.
+            Every member receives the same update pattern (the fleet kernel
+            guarantees this: the steady-state OneShotSTL point touches the
+            same local positions for every series).  As in the scalar
+            solver, each value is added at ``(row, column)`` *and* at the
+            mirrored position.
+        values:
+            Per-member update values, shape ``(n, k)``.
+        rhs_new:
+            Per-member right-hand sides of the appended variables, shape
+            ``(n, num_new)``.
+        """
+        w = self.half_bandwidth
+        if not 1 <= num_new <= w:
+            raise ValueError(f"num_new must be in [1, {w}], got {num_new}")
+        block = w + num_new
+        n = self.n_series
+        rows = np.asarray(rows, dtype=np.intp)
+        columns = np.asarray(columns, dtype=np.intp)
+        values = np.asarray(values, dtype=float)
+        rhs_new = np.asarray(rhs_new, dtype=float)
+        if rows.shape != columns.shape or rows.ndim != 1:
+            raise ValueError("rows and columns must be equal-length 1-D arrays")
+        if values.shape != (n, rows.size):
+            raise ValueError(f"values must have shape ({n}, {rows.size})")
+        if rhs_new.shape != (n, num_new):
+            raise ValueError(f"rhs_new must have shape ({n}, {num_new})")
+        if rows.size and (
+            rows.min() < 0
+            or rows.max() >= block
+            or columns.min() < 0
+            or columns.max() >= block
+            or np.abs(rows - columns).max() > w
+        ):
+            raise ValueError(
+                "update positions must lie in the extended trailing block "
+                f"[0, {block}) and respect the half bandwidth {w}"
+            )
+
+        # Extended corrected block over local indices [0, block): the old
+        # trailing block in the top-left corner, zeros elsewhere.  Built
+        # fresh (rebind, never mutate) so rollback is a reference swap.
+        matrix = np.zeros((n, block, block))
+        matrix[:, :w, :w] = self._m_trail
+        rhs = np.empty((n, block))
+        rhs[:, :w] = self._bp_trail
+        rhs[:, w:] = rhs_new
+
+        # Apply the shared update pattern entry by entry, in caller order --
+        # cells hit by several entries must accumulate in the same order as
+        # the scalar solver's sequential `+=` for exact reproducibility.
+        for position in range(rows.size):
+            row, column = rows[position], columns[position]
+            matrix[:, row, column] += values[:, position]
+            if row != column:
+                matrix[:, column, row] += values[:, position]
+
+        # Eliminate the num_new oldest variables (they are finalized now),
+        # folding their Schur-complement correction into the new trailing
+        # block.  Same sweep order as the scalar kernel; the scalar kernel's
+        # `if factor != 0.0` skip is a pure no-op for finite operands
+        # (x - 0.0 * y == x up to the sign of a zero), so the unconditional
+        # vectorized form computes the same values.
+        for k in range(num_new):
+            pivot = matrix[:, k, k]
+            if not np.all(np.isfinite(pivot)) or np.any(pivot == 0.0):
+                bad = np.flatnonzero(~np.isfinite(pivot) | (pivot == 0.0))
+                raise ValueError(
+                    f"zero or invalid pivot while finalizing local index {k} "
+                    f"of member systems {bad.tolist()}"
+                )
+            factor = matrix[:, k + 1 :, k] / pivot[:, None]
+            matrix[:, k + 1 :, k + 1 :] -= (
+                factor[:, :, None] * matrix[:, None, k, k + 1 :]
+            )
+            rhs[:, k + 1 :] -= factor * rhs[:, None, k]
+
+        self._undo = (self._m_trail, self._bp_trail, self._sizes)
+        self._m_trail = np.ascontiguousarray(matrix[:, num_new:, num_new:])
+        self._bp_trail = np.ascontiguousarray(rhs[:, num_new:])
+        self._sizes = self._sizes + num_new
+
+    def tail_solution(self, count: int) -> np.ndarray:
+        """Last ``count`` solution entries of every member, shape ``(n, count)``.
+
+        ``count`` may not exceed the half bandwidth (same contract as the
+        scalar solver in incremental mode).
+        """
+        w = self.half_bandwidth
+        if count < 1:
+            raise ValueError("count must be at least 1")
+        if count > w:
+            raise ValueError(
+                f"count ({count}) cannot exceed the half bandwidth ({w})"
+            )
+        n = self.n_series
+        matrix = self._m_trail.copy()
+        rhs = self._bp_trail.copy()
+        # Forward elimination, mirroring the scalar kernel sweep for sweep.
+        for k in range(w):
+            pivot = matrix[:, k, k]
+            if not np.all(np.isfinite(pivot)) or np.any(pivot == 0.0):
+                bad = np.flatnonzero(~np.isfinite(pivot) | (pivot == 0.0))
+                raise ValueError(
+                    f"singular trailing system at pivot {k} of member "
+                    f"systems {bad.tolist()}"
+                )
+            factor = matrix[:, k + 1 :, k] / pivot[:, None]
+            matrix[:, k + 1 :, k + 1 :] -= (
+                factor[:, :, None] * matrix[:, None, k, k + 1 :]
+            )
+            rhs[:, k + 1 :] -= factor * rhs[:, None, k]
+        # Back substitution with the scalar kernel's accumulation order.
+        solution = np.empty((n, w))
+        for i in range(w - 1, -1, -1):
+            accumulator = rhs[:, i]
+            for j in range(i + 1, w):
+                accumulator = accumulator - matrix[:, i, j] * solution[:, j]
+            solution[:, i] = accumulator / matrix[:, i, i]
+        return solution[:, w - count :]

@@ -12,9 +12,15 @@ keyed streams over the shared fast kernel, with
   :class:`~repro.specs.PipelineSpec` overrides so heterogeneous fleets
   (different periods or thresholds per metric class) live in one engine;
   :attr:`spec` reports the configuration in use;
-* **batched ingest** -- ``ingest([(key, value), ...])`` routes a mixed
-  batch of observations to their per-key pipelines and returns the derived
-  records in input order;
+* **batched ingest over a columnar fleet kernel** -- ``ingest`` accepts a
+  row batch ``[(key, value), ...]``, a columnar batch ``{key: values}`` or
+  parallel ``(keys, values)`` arrays, and routes same-configuration live
+  series through a struct-of-arrays :class:`~repro.core.fleet.FleetKernel`
+  that advances the whole group with a handful of NumPy array operations
+  per point instead of a Python loop -- with outputs *exactly* equal to the
+  per-series scalar path (series are grouped by their
+  :class:`~repro.specs.PipelineSpec`; warming, incompatible or
+  shift-diverging series fall back per series);
 * **per-series lazy initialization** -- the first observation of an unseen
   key creates its pipeline; values are buffered until the configured
   initialization window is full, then the batch initialization phase runs
@@ -48,6 +54,9 @@ from typing import Callable, Hashable, Iterable, Tuple
 
 import numpy as np
 
+from repro.core.fleet import ColumnarNSigma, FleetKernel
+from repro.core.nsigma import NSigma
+from repro.core.oneshotstl import OneShotSTL
 from repro.specs import DecomposerSpec, DetectorSpec, EngineSpec, PipelineSpec
 from repro.streaming.buffer import RingBuffer
 from repro.streaming.latency import LatencyReport, summarize_latencies
@@ -142,6 +151,108 @@ class _SeriesState:
         self.points = 0
         self.anomalies = 0
         self.latencies = RingBuffer(latency_window)
+
+
+class _FleetGroup:
+    """Columnar state of one same-spec cohort of live series.
+
+    While a series is *absorbed* into a group, the columnar arrays (the
+    :class:`FleetKernel`, the columnar pipeline scorer, the per-series
+    record indices and the pending point/anomaly counters) are
+    authoritative and the series' pipeline object is stale; the engine
+    re-materializes the object state at every boundary that needs it
+    (single-key ``process``/``forecast``, ``series_stats``,
+    ``snapshot``/``save``).  ``_FleetGroup`` is engine-internal bookkeeping
+    and is deliberately *not* part of the checkpoint format: checkpoints
+    carry only the ordinary per-series state, so the on-disk format is
+    identical whether or not the kernel path ever ran.
+    """
+
+    __slots__ = (
+        "spec",
+        "keys",
+        "column_of",
+        "kernel",
+        "scorer",
+        "indices",
+        "points_pending",
+        "anomalies_pending",
+    )
+
+    def __init__(self, spec: PipelineSpec):
+        self.spec = spec
+        self.keys: list = []
+        self.column_of: dict = {}
+        self.kernel: FleetKernel | None = None
+        self.scorer: ColumnarNSigma | None = None
+        self.indices = np.zeros(0, dtype=np.int64)
+        self.points_pending = np.zeros(0, dtype=np.int64)
+        self.anomalies_pending = np.zeros(0, dtype=np.int64)
+
+    @property
+    def n_series(self) -> int:
+        return len(self.keys)
+
+    def absorb(self, keys: list, states: list) -> None:
+        """Append a cohort of live series to the columnar arrays at once.
+
+        Batching the absorption matters: packing ``m`` new members costs
+        one concatenation instead of ``m`` array growths, so a fleet that
+        goes live in the same ingest round (the common case -- every series
+        warmed on the same schedule) is absorbed in O(fleet) total.
+        """
+        new_kernel = FleetKernel.pack(
+            [state.pipeline.decomposer for state in states]
+        )
+        new_scorer = ColumnarNSigma.pack(
+            [state.pipeline.scorer for state in states]
+        )
+        if self.kernel is None:
+            self.kernel = new_kernel
+            self.scorer = new_scorer
+        else:
+            self.kernel.append(new_kernel)
+            self.scorer.append(new_scorer)
+        self.indices = np.concatenate(
+            [
+                self.indices,
+                np.array(
+                    [state.pipeline._index for state in states], dtype=np.int64
+                ),
+            ]
+        )
+        grown = len(states)
+        self.points_pending = np.concatenate(
+            [self.points_pending, np.zeros(grown, dtype=np.int64)]
+        )
+        self.anomalies_pending = np.concatenate(
+            [self.anomalies_pending, np.zeros(grown, dtype=np.int64)]
+        )
+        for key in keys:
+            self.column_of[key] = len(self.keys)
+            self.keys.append(key)
+
+    def sync_series(self, column: int, state: _SeriesState) -> None:
+        """Write column ``column`` back into the series' object state."""
+        pipeline = state.pipeline
+        self.kernel.write_into(column, pipeline.decomposer)
+        self.scorer.write_into(column, pipeline.scorer)
+        pipeline._index = int(self.indices[column])
+        self.flush_counters(column, state)
+
+    def load_series(self, column: int, state: _SeriesState) -> None:
+        """Refresh column ``column`` from the series' object state."""
+        pipeline = state.pipeline
+        self.kernel.load(column, pipeline.decomposer)
+        self.scorer.load(column, pipeline.scorer)
+        self.indices[column] = pipeline._index
+
+    def flush_counters(self, column: int, state: _SeriesState) -> None:
+        """Fold the column's pending counters into the series' counters."""
+        state.points += int(self.points_pending[column])
+        state.anomalies += int(self.anomalies_pending[column])
+        self.points_pending[column] = 0
+        self.anomalies_pending[column] = 0
 
 
 class MultiSeriesEngine:
@@ -239,6 +350,19 @@ class MultiSeriesEngine:
         )
         self.track_latency = True if track_latency is None else bool(track_latency)
         self._series: dict[Hashable, _SeriesState] = {}
+        #: routes batched ingest of same-spec live series through the
+        #: columnar fleet kernel; set to False to force the scalar path
+        #: (outputs are identical either way -- the oracle tests rely on
+        #: this toggle to compare the two paths).
+        self.fleet_kernel_enabled = True
+        #: smallest same-spec cohort worth advancing through the kernel: a
+        #: NumPy array op on a handful of series costs more in dispatch
+        #: overhead than the scalar loop it replaces, so tiny fleets (and
+        #: single-key batches) stay on the scalar path.
+        self.kernel_min_cohort = 8
+        self._groups: dict[str, _FleetGroup] = {}
+        self._absorbed: dict[Hashable, tuple[_FleetGroup, int]] = {}
+        self._never_absorb: set = set()
 
     # --------------------------------------------------------- construction
 
@@ -308,7 +432,21 @@ class MultiSeriesEngine:
         batch initialization phase (still reported as ``warming``: its
         decomposition is part of the initialization result, not an online
         point).
+
+        A key that batched ingest absorbed into the fleet kernel keeps its
+        single-key semantics: the series' object state is materialized from
+        the columnar arrays, processed through the ordinary scalar
+        pipeline, and written back, so mixing ``process`` and ``ingest``
+        freely is safe (and exactly equal to never batching at all).
         """
+        location = self._absorbed.get(key)
+        if location is not None:
+            group, column = location
+            state = self._series[key]
+            group.sync_series(column, state)
+            record = self._process_live(key, state, float(value))
+            group.load_series(column, state)
+            return record
         state = self._series.get(key)
         if state is None:
             state = _SeriesState(self.pipeline_factory(key), self.latency_window)
@@ -337,6 +475,12 @@ class MultiSeriesEngine:
                 state.live = True
             return EngineRecord(key=key, status=SeriesStatus.WARMING, record=None)
 
+        return self._process_live(key, state, value)
+
+    def _process_live(
+        self, key: Hashable, state: _SeriesState, value: float
+    ) -> EngineRecord:
+        """Scalar-path processing of one observation for a live series."""
         if self.track_latency:
             start = time.perf_counter()
             record = state.pipeline.process(value)
@@ -348,31 +492,294 @@ class MultiSeriesEngine:
             state.anomalies += 1
         return EngineRecord(key=key, status=SeriesStatus.LIVE, record=record)
 
-    def ingest(
-        self, batch: Iterable[Tuple[Hashable, float]]
-    ) -> list[EngineRecord]:
-        """Ingest a batch of ``(key, value)`` observations.
+    def ingest(self, batch) -> list[EngineRecord]:
+        """Ingest a batch of observations, batching same-spec series.
 
-        Observations are applied in input order (so multiple values for the
-        same key within one batch are processed oldest first) and the
-        derived records are returned in the same order.
+        ``batch`` may be
+
+        * a **row iterable** of ``(key, value)`` pairs (the original form),
+        * a **columnar batch** ``{key: values}`` mapping each key to a
+          scalar or a 1-D array of per-key observations (all arrays must
+          share one length ``L``; the batch is equivalent to the
+          interleaved rows ``[(key, values[t]) for t in range(L) for key
+          in batch]``), or
+        * **parallel arrays** ``(keys, values)`` -- a sequence of keys plus
+          an equal-length NumPy array of values -- which avoids building
+          per-record Python tuples altogether.
+
+        Records are returned in (the equivalent) input order; multiple
+        values for one key are processed oldest first.  Live series that
+        share a :class:`~repro.specs.PipelineSpec` are advanced together
+        through the columnar fleet kernel -- one batched solver step per
+        IRLS iteration for the whole cohort -- with results identical to
+        processing every observation through :meth:`process`.
 
         Application is *not* transactional: a rejected observation (e.g. a
         non-finite value, during warmup or live) raises out of the batch
         with every earlier observation already applied and every later one
-        unapplied.  Callers that need to resume should sanitize values up
-        front, or re-submit only the tail of the batch that follows the
-        offending observation.
+        unapplied (batches containing such values are processed strictly
+        sequentially to keep that contract).  Callers that need to resume
+        should sanitize values up front, or re-submit only the tail of the
+        batch that follows the offending observation.
         """
-        process = self.process
-        return [process(key, value) for key, value in batch]
+        if isinstance(batch, dict):
+            keys, values = self._columns_from_dict(batch)
+        elif (
+            isinstance(batch, tuple)
+            and len(batch) == 2
+            and isinstance(batch[1], np.ndarray)
+        ):
+            keys, values = batch
+            values = np.asarray(values, dtype=float)
+            if values.ndim != 1 or len(keys) != values.size:
+                raise ValueError(
+                    "parallel-array ingest expects (keys, values) of equal "
+                    "length with a 1-D value array"
+                )
+            keys = list(keys)
+        else:
+            rows = list(batch)
+            try:
+                keys = [row[0] for row in rows]
+                values = np.array([row[1] for row in rows], dtype=float)
+            except (TypeError, ValueError, IndexError):
+                # Malformed rows or unconvertible values: let the sequential
+                # path raise (or not) with its per-record semantics.
+                process = self.process
+                return [process(key, value) for key, value in rows]
+        return self._ingest_keys_values(keys, values)
+
+    @staticmethod
+    def _columns_from_dict(batch: dict) -> tuple[list, np.ndarray]:
+        """Expand ``{key: values}`` into round-major parallel key/value arrays."""
+        length = None
+        columns = []
+        for key, values in batch.items():
+            values = np.atleast_1d(np.asarray(values, dtype=float))
+            if values.ndim != 1:
+                raise ValueError(
+                    f"columnar ingest values for key {key!r} must be scalars "
+                    "or 1-D arrays"
+                )
+            if length is None:
+                length = values.size
+            elif values.size != length:
+                raise ValueError(
+                    "columnar ingest requires equal-length value arrays; "
+                    f"key {key!r} has {values.size} values, expected {length}"
+                )
+            columns.append(values)
+        if not columns:
+            return [], np.zeros(0)
+        # Interleave to round-major order ((k0, t), (k1, t), ..., (k0, t+1),
+        # ...) without materializing per-record tuples.
+        keys = list(batch) * length
+        values = np.stack(columns).T.ravel() if length else np.zeros(0)
+        return keys, values
+
+    def _ingest_keys_values(
+        self, keys: list, values: np.ndarray
+    ) -> list[EngineRecord]:
+        if not keys:
+            return []
+        if not self.fleet_kernel_enabled or (
+            len(keys) < self.kernel_min_cohort and not self._absorbed
+        ):
+            # Nothing is (or could become) kernel-batched at this batch
+            # size: skip the round-building machinery entirely.
+            process = self.process
+            return [
+                process(key, value) for key, value in zip(keys, values)
+            ]
+        bad = ~np.isfinite(values)
+        if bad.any():
+            # NaN aimed at an already-absorbed series is a missing point the
+            # kernel imputes; anything else (infinities, NaN during warmup
+            # or on a scalar-path series) must raise exactly where the
+            # sequential path would, so the whole batch stays sequential.
+            for position in np.flatnonzero(bad):
+                if not (
+                    np.isnan(values[position])
+                    and keys[position] in self._absorbed
+                ):
+                    process = self.process
+                    return [
+                        process(key, value) for key, value in zip(keys, values)
+                    ]
+
+        # Split the batch into rounds holding at most one observation per
+        # key (values for one key apply oldest first), then advance each
+        # round's kernel cohorts with batched array ops and everything else
+        # through the scalar path.
+        records: list = [None] * len(keys)
+        occurrence: dict = {}
+        rounds: list[list] = []
+        for position, key in enumerate(keys):
+            seen = occurrence.get(key, 0)
+            occurrence[key] = seen + 1
+            if seen == len(rounds):
+                rounds.append([])
+            rounds[seen].append((key, position))
+        for round_entries in rounds:
+            self._process_round(round_entries, values, records)
+        return records
+
+    def _process_round(
+        self, entries: list, values: np.ndarray, records: list
+    ) -> None:
+        """Process one round (unique keys) of a batched ingest."""
+        # Absorb every newly eligible series first, cohort-at-a-time, so a
+        # fleet that goes live together is packed with one concatenation.
+        to_absorb: dict[str, list] = {}
+        for key, _position in entries:
+            if key in self._absorbed or key in self._never_absorb:
+                continue
+            state = self._series.get(key)
+            if state is None or not state.live:
+                continue
+            spec = self._absorption_spec(key, state)
+            if spec is not None:
+                to_absorb.setdefault(spec.to_json(sort_keys=True), []).append(
+                    (spec, key, state)
+                )
+        for spec_key, items in to_absorb.items():
+            group = self._groups.get(spec_key)
+            if group is None:
+                if len(items) < self.kernel_min_cohort:
+                    # Too small a cohort to pay off; the keys stay on the
+                    # scalar path and are reconsidered on later rounds
+                    # (e.g. once more series of this spec go live).
+                    continue
+                group = self._groups[spec_key] = _FleetGroup(items[0][0])
+            group.absorb(
+                [key for _spec, key, _state in items],
+                [state for _spec, _key, state in items],
+            )
+            for _spec, key, _state in items:
+                self._absorbed[key] = (group, group.column_of[key])
+
+        # Partition the round into kernel cohorts and scalar leftovers.
+        parts: dict[int, list] = {}
+        groups: dict[int, _FleetGroup] = {}
+        scalar_entries = []
+        for key, position in entries:
+            location = self._absorbed.get(key)
+            if location is None:
+                scalar_entries.append((key, position))
+            else:
+                group, column = location
+                identity = id(group)
+                groups[identity] = group
+                parts.setdefault(identity, []).append((key, position, column))
+        for identity, members in parts.items():
+            self._advance_group(groups[identity], members, values, records)
+        for key, position in scalar_entries:
+            records[position] = self.process(key, float(values[position]))
+
+    def _advance_group(
+        self,
+        group: _FleetGroup,
+        members: list,
+        values: np.ndarray,
+        records: list,
+    ) -> None:
+        """Advance one kernel cohort by one observation per member."""
+        if len(members) < min(self.kernel_min_cohort, group.n_series):
+            # A round touching only a few members of a large group is
+            # cheaper through the single-key path (which materializes and
+            # writes back just those columns) than through a gathered
+            # sub-kernel.
+            for key, position, _column in members:
+                records[position] = self.process(key, float(values[position]))
+            return
+        full = len(members) == group.kernel.n_series
+        if full:
+            # A whole-group round takes the in-place (no gather/scatter)
+            # kernel path regardless of the caller's key order: records are
+            # scattered back by position, so sorting members into column
+            # order is free for the caller and keeps the fast path.
+            members = sorted(members, key=lambda member: member[2])
+        columns = np.array([column for _key, _position, column in members])
+        batch_values = values[[position for _key, position, _column in members]]
+        if self.track_latency:
+            start = time.perf_counter()
+        if full:
+            out = group.kernel.update(batch_values)
+            scores, flags = group.scorer.update(out.detection_residual)
+        else:
+            out = group.kernel.update(batch_values, columns=columns)
+            scorer = group.scorer.select(columns)
+            scores, flags = scorer.update(out.detection_residual)
+            group.scorer.assign(columns, scorer)
+        if self.track_latency:
+            per_point = (time.perf_counter() - start) / columns.size
+        indices = group.indices[columns]
+        for j, (key, position, _column) in enumerate(members):
+            record = StreamRecord(
+                index=int(indices[j]),
+                value=float(out.value[j]),
+                trend=float(out.trend[j]),
+                seasonal=float(out.seasonal[j]),
+                residual=float(out.residual[j]),
+                anomaly_score=float(scores[j]),
+                is_anomaly=bool(flags[j]),
+                detection_residual=float(out.detection_residual[j]),
+            )
+            records[position] = EngineRecord(
+                key=key, status=SeriesStatus.LIVE, record=record
+            )
+        group.indices[columns] += 1
+        group.points_pending[columns] += 1
+        flagged = columns[flags]
+        if flagged.size:
+            group.anomalies_pending[flagged] += 1
+        if self.track_latency:
+            for key, _position, _column in members:
+                self._series[key].latencies.append(per_point)
+
+    def _absorption_spec(self, key: Hashable, state: _SeriesState):
+        """Spec to group ``key`` under, or None (not yet / never packable)."""
+        pipeline = state.pipeline
+        if (
+            type(pipeline) is not StreamingPipeline
+            or type(pipeline.decomposer) is not OneShotSTL
+            or type(pipeline.scorer) is not NSigma
+        ):
+            self._never_absorb.add(key)
+            return None
+        if not FleetKernel.eligible(pipeline.decomposer):
+            if pipeline.decomposer._initializer is not None:
+                self._never_absorb.add(key)
+            # Otherwise the solvers are still in dense warm-up: retry on a
+            # later round.
+            return None
+        spec = pipeline.spec
+        if spec is None:
+            self._never_absorb.add(key)
+            return None
+        return spec
 
     def forecast(self, key: Hashable, horizon: int) -> np.ndarray:
         """Forecast ``horizon`` values ahead for one live series."""
         state = self._series[key]
         if not state.live:
             raise RuntimeError(f"series {key!r} is still warming up")
+        location = self._absorbed.get(key)
+        if location is not None:
+            group, column = location
+            group.sync_series(column, state)
         return state.pipeline.forecast(horizon)
+
+    def _sync_all(self) -> None:
+        """Materialize every absorbed series' object state from the kernel."""
+        for key, (group, column) in self._absorbed.items():
+            group.sync_series(column, self._series[key])
+
+    def _reset_fleet_groups(self) -> None:
+        """Drop all columnar bookkeeping (after replacing ``_series``)."""
+        self._groups = {}
+        self._absorbed = {}
+        self._never_absorb = set()
 
     # ------------------------------------------------------------- fleet API
 
@@ -393,6 +800,10 @@ class MultiSeriesEngine:
     def series_stats(self, key: Hashable) -> SeriesStats:
         """Statistics of a single series."""
         state = self._series[key]
+        location = self._absorbed.get(key)
+        if location is not None:
+            group, column = location
+            group.flush_counters(column, state)
         latencies = state.latencies.to_array()
         return SeriesStats(
             key=key,
@@ -430,7 +841,12 @@ class MultiSeriesEngine:
         mutate it, and it can be restored any number of times (or pickled
         to disk by the caller).  For a checkpoint that survives process
         boundaries and carries its own configuration, use :meth:`save`.
+
+        Kernel-absorbed series are materialized first, so the checkpoint
+        always holds plain per-series state -- the same shape whether or
+        not batched ingest ever ran.
         """
+        self._sync_all()
         return copy.deepcopy(self._series)
 
     def restore(self, checkpoint) -> None:
@@ -444,6 +860,8 @@ class MultiSeriesEngine:
         ):
             raise TypeError("checkpoint must come from MultiSeriesEngine.snapshot()")
         self._series = copy.deepcopy(checkpoint)
+        # The columnar arrays described the replaced fleet; rebuild lazily.
+        self._reset_fleet_groups()
 
     def save(self, path) -> None:
         """Write a portable versioned checkpoint to ``path``.
@@ -465,6 +883,7 @@ class MultiSeriesEngine:
                 "MultiSeriesEngine.from_spec() (or for_oneshotstl()) "
                 "instead of a pipeline factory"
             )
+        self._sync_all()
         payload = {
             "format_version": CHECKPOINT_FORMAT_VERSION,
             "engine_spec": self.spec.to_dict(),

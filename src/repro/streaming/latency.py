@@ -49,14 +49,30 @@ class LatencyReport:
 def summarize_latencies(durations, method: str) -> LatencyReport:
     """Build a :class:`LatencyReport` from an array of per-point durations.
 
+    Edge cases are well defined instead of leaking NumPy warnings or NaNs:
+    an **empty** window yields a zero report (``points == 0`` and all
+    statistics ``0.0`` -- ``np.mean``/``np.percentile`` of an empty array
+    would emit ``RuntimeWarning`` and return NaN), and a **single-sample**
+    window reports that sample as mean, median and p99 alike (NumPy's
+    reductions already do so, warning-free, for one element).
+
     Parameters
     ----------
     durations:
-        Observed per-point durations in seconds (at least one).
+        Observed per-point durations in seconds (may be empty).
     method:
         Label used in the report.
     """
-    durations = as_float_array(durations, "durations", min_length=1)
+    durations = as_float_array(durations, "durations", min_length=0)
+    if durations.size == 0:
+        return LatencyReport(
+            method=method,
+            points=0,
+            mean_seconds=0.0,
+            median_seconds=0.0,
+            p99_seconds=0.0,
+            total_seconds=0.0,
+        )
     return LatencyReport(
         method=method,
         points=int(durations.size),

@@ -1,0 +1,613 @@
+"""Oracle tests: the columnar fleet kernel equals the scalar path exactly.
+
+The struct-of-arrays fleet kernel (solver layer
+:class:`~repro.solvers.batched_ldlt.BatchedIncrementalLDLT`, model layer
+:class:`~repro.core.fleet.FleetKernel`, engine routing in
+:class:`~repro.streaming.engine.MultiSeriesEngine`) promises *exact*
+equality with the per-series scalar path -- every trend, seasonal,
+residual, anomaly score and verdict must come out float-for-float
+identical, shift searches, NaN imputation and checkpoints included.  These
+tests pin that promise at each layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import OneShotSTL
+from repro.core.fleet import ColumnarNSigma, FleetKernel
+from repro.core.nsigma import NSigma
+from repro.core.online_system import HALF_BANDWIDTH, ContributionWorkspace
+from repro.decomposition import OnlineSTL
+from repro.solvers import BatchedIncrementalLDLT, IncrementalBandedLDLT
+from repro.specs import DecomposerSpec, DetectorSpec, EngineSpec, PipelineSpec
+from repro.streaming import MultiSeriesEngine, StreamingPipeline
+from repro.streaming.latency import summarize_latencies
+
+from tests.conftest import make_seasonal_series
+
+PERIOD = 24
+INIT = 4 * PERIOD
+
+
+def fleet_series(index, length=PERIOD * 10, spike=None, missing=None):
+    values = make_seasonal_series(length, PERIOD, seed=300 + index)["values"]
+    if spike is not None:
+        values[spike] += 10.0
+    if missing is not None:
+        values[missing] = np.nan
+    return values
+
+
+def warm_models(streams, warm_points, **params):
+    """One initialized scalar model per stream, advanced past solver warm-up."""
+    models = []
+    for values in streams:
+        model = OneShotSTL(PERIOD, **params)
+        model.initialize(values[:INIT])
+        for value in values[INIT : INIT + warm_points]:
+            model.update(float(value))
+        models.append(model)
+    return models
+
+
+class TestBatchedSolverOracle:
+    """BatchedIncrementalLDLT equals n scalar solvers, bit for bit."""
+
+    def _warm_solver_states(self, n, extra_points=0):
+        """Scalar per-iteration solvers fed through real OneShotSTL updates."""
+        streams = [fleet_series(i) for i in range(n)]
+        models = warm_models(streams, 8 + extra_points, shift_window=0)
+        return [model._iterations_state[0].solver for model in models], models
+
+    def test_extend_and_tail_match_scalars(self):
+        solvers, models = self._warm_solver_states(5)
+        batch = BatchedIncrementalLDLT.pack([s.copy() for s in solvers])
+        rng = np.random.default_rng(0)
+        rows = HALF_BANDWIDTH + ContributionWorkspace._ROW_OFFSETS
+        cols = HALF_BANDWIDTH + ContributionWorkspace._COL_OFFSETS
+        for _step in range(20):
+            observations = rng.normal(0.0, 1.0, 5)
+            anchors = rng.normal(0.0, 1.0, 5)
+            p = np.abs(rng.normal(1.0, 0.3, 5)) + 0.1
+            q = np.abs(rng.normal(1.0, 0.3, 5)) + 0.1
+            workspace = ContributionWorkspace(1.0, 1.0)
+            expected = []
+            for model, solver, value, anchor, pw, qw in zip(
+                models, solvers, observations, anchors, p, q
+            ):
+                updates, rhs = workspace.fill(
+                    model._points_processed + _step,
+                    float(value),
+                    float(anchor),
+                    float(pw),
+                    float(qw),
+                )
+                solver.extend(2, updates, rhs, check_indices=False)
+                expected.append(solver.tail_solution(HALF_BANDWIDTH))
+            first = 1.0 * p
+            second = 1.0 * q
+            values = np.empty((5, 13))
+            values[:, :4] = 1.0
+            values[:, 4] = first
+            values[:, 5] = first
+            values[:, 6] = -first
+            values[:, 7] = second
+            values[:, 8] = 4.0 * second
+            values[:, 9] = second
+            values[:, 10] = -2.0 * second
+            values[:, 11] = second
+            values[:, 12] = -2.0 * second
+            rhs = np.stack([observations, observations + anchors], axis=1)
+            batch.extend(2, rows, cols, values, rhs)
+            assert np.array_equal(
+                batch.tail_solution(HALF_BANDWIDTH), np.array(expected)
+            )
+
+    def test_rollback_is_exact_and_single_level(self):
+        solvers, _models = self._warm_solver_states(3)
+        batch = BatchedIncrementalLDLT.pack(solvers)
+        before = batch.copy()
+        rows = HALF_BANDWIDTH + ContributionWorkspace._ROW_OFFSETS
+        cols = HALF_BANDWIDTH + ContributionWorkspace._COL_OFFSETS
+        values = np.ones((3, 13))
+        rhs = np.ones((3, 2))
+        batch.extend(2, rows, cols, values, rhs)
+        after = batch.tail_solution(2)
+        batch.rollback()
+        assert np.array_equal(
+            batch.tail_solution(2), before.tail_solution(2)
+        )
+        with pytest.raises(ValueError, match="no extend to roll back"):
+            batch.rollback()
+        batch.extend(2, rows, cols, values, rhs)
+        assert np.array_equal(batch.tail_solution(2), after)
+
+    def test_pack_extract_round_trip(self):
+        solvers, _models = self._warm_solver_states(4, extra_points=3)
+        batch = BatchedIncrementalLDLT.pack(solvers)
+        for index, solver in enumerate(solvers):
+            extracted = batch.extract(index)
+            assert extracted.size == solver.size
+            assert extracted._m_trail == solver._m_trail
+            assert extracted._bp_trail == solver._bp_trail
+            assert np.array_equal(
+                extracted.tail_solution(2), solver.tail_solution(2)
+            )
+
+    def test_pack_rejects_dense_mode_solvers(self):
+        with pytest.raises(ValueError, match="dense warm-up"):
+            BatchedIncrementalLDLT.pack([IncrementalBandedLDLT(4)])
+
+    def test_select_assign_round_trip(self):
+        solvers, _models = self._warm_solver_states(5)
+        batch = BatchedIncrementalLDLT.pack(solvers)
+        columns = np.array([1, 3])
+        sub = batch.select(columns)
+        assert np.array_equal(
+            sub.tail_solution(2), batch.tail_solution(2)[columns]
+        )
+        batch.assign(columns, sub)
+        assert np.array_equal(batch.tail_solution(2)[columns], sub.tail_solution(2))
+
+
+class TestFleetKernelOracle:
+    """FleetKernel.update equals scalar OneShotSTL.update exactly."""
+
+    def run_pair(self, streams, points, **params):
+        """Advance scalar models and a packed kernel over the same streams."""
+        scalar = warm_models(streams, 8, **params)
+        kernel = FleetKernel.pack(warm_models(streams, 8, **params))
+        start = INIT + 8
+        for step in range(points):
+            values = np.array(
+                [stream[start + step] for stream in streams], dtype=float
+            )
+            points_scalar = [
+                model.update(float(value))
+                for model, value in zip(scalar, values)
+            ]
+            out = kernel.update(values)
+            for i, point in enumerate(points_scalar):
+                assert point.value == out.value[i]
+                assert point.trend == out.trend[i]
+                assert point.seasonal == out.seasonal[i]
+                assert point.residual == out.residual[i]
+                assert (
+                    scalar[i].last_detection_residual
+                    == out.detection_residual[i]
+                )
+        return scalar, kernel
+
+    def test_plain_fleet_matches(self):
+        streams = [fleet_series(i) for i in range(6)]
+        self.run_pair(streams, PERIOD * 3, shift_window=0)
+
+    def test_shift_search_divergence_matches(self):
+        """Series whose shift search triggers fall back without drift."""
+        streams = [
+            fleet_series(i, spike=(INIT + 20 + i if i % 2 == 0 else None))
+            for i in range(6)
+        ]
+        scalar, kernel = self.run_pair(
+            streams, PERIOD * 2, shift_window=20, shift_threshold=5.0
+        )
+        # The spike must actually have exercised the divergence path.
+        assert any(model.current_shift != 0 for model in scalar)
+        assert np.array_equal(
+            kernel.last_applied_shift,
+            np.array([model.current_shift for model in scalar]),
+        )
+
+    def test_nan_inputs_are_imputed_identically(self):
+        streams = [
+            fleet_series(i, missing=(INIT + 15 if i in (1, 4) else None))
+            for i in range(5)
+        ]
+        self.run_pair(streams, PERIOD * 2, shift_window=20)
+
+    def test_mixed_phase_fleet_matches(self):
+        """Members at different stream ages still advance in one batch."""
+        streams = [fleet_series(i) for i in range(5)]
+        scalar = warm_models(streams, 8, shift_window=0)
+        staggered = warm_models(streams, 8, shift_window=0)
+        for extra, (model, stream) in enumerate(zip(staggered, streams)):
+            for value in stream[INIT + 8 : INIT + 8 + extra]:
+                model.update(float(value))
+        for extra, (model, stream) in enumerate(zip(scalar, streams)):
+            for value in stream[INIT + 8 : INIT + 8 + extra]:
+                model.update(float(value))
+        kernel = FleetKernel.pack(staggered)
+        for step in range(PERIOD):
+            values = np.array(
+                [
+                    stream[INIT + 8 + extra + step]
+                    for extra, stream in enumerate(streams)
+                ]
+            )
+            expected = [
+                model.update(float(value))
+                for model, value in zip(scalar, values)
+            ]
+            out = kernel.update(values)
+            for i, point in enumerate(expected):
+                assert point.trend == out.trend[i]
+                assert point.residual == out.residual[i]
+
+    def test_subset_update_matches(self):
+        streams = [fleet_series(i) for i in range(6)]
+        scalar = warm_models(streams, 8, shift_window=0)
+        kernel = FleetKernel.pack(warm_models(streams, 8, shift_window=0))
+        columns = np.array([0, 2, 5])
+        for step in range(PERIOD):
+            values = np.array(
+                [streams[c][INIT + 8 + step] for c in columns], dtype=float
+            )
+            expected = [
+                scalar[c].update(float(value))
+                for c, value in zip(columns, values)
+            ]
+            out = kernel.update(values, columns=columns)
+            for j, point in enumerate(expected):
+                assert point.trend == out.trend[j]
+                assert point.residual == out.residual[j]
+
+    def test_extract_continues_identically(self):
+        streams = [fleet_series(i) for i in range(5)]
+        scalar, kernel = self.run_pair(streams, PERIOD, shift_window=20)
+        for index, model in enumerate(scalar):
+            extracted = kernel.extract(index)
+            for value in streams[index][-PERIOD:]:
+                assert extracted.update(float(value)) == model.update(
+                    float(value)
+                )
+
+    def test_pack_requires_uniform_configuration(self):
+        streams = [fleet_series(i) for i in range(2)]
+        model_a = warm_models(streams[:1], 8, shift_window=0)[0]
+        model_b = warm_models(streams[1:], 8, shift_window=5)[0]
+        with pytest.raises(ValueError, match="different hyper-parameters"):
+            FleetKernel.pack([model_a, model_b])
+
+    def test_pack_rejects_cold_models(self):
+        model = OneShotSTL(PERIOD)
+        model.initialize(fleet_series(0)[:INIT])
+        assert not FleetKernel.eligible(model)
+        with pytest.raises(ValueError, match="not packable"):
+            FleetKernel.pack([model])
+
+
+class TestColumnarNSigma:
+    def test_matches_scalar_scorers(self):
+        rng = np.random.default_rng(1)
+        scorers = [NSigma(3.0) for _ in range(4)]
+        for scorer in scorers:
+            for value in rng.normal(0.0, 1.0, 50):
+                scorer.update(float(value))
+        columnar = ColumnarNSigma.pack(scorers)
+        for _step in range(30):
+            values = rng.normal(0.0, 2.0, 4)
+            expected = [
+                scorer.update(float(value))
+                for scorer, value in zip(scorers, values)
+            ]
+            scores, flags = columnar.update(values)
+            for i, verdict in enumerate(expected):
+                assert verdict.score == scores[i]
+                assert verdict.is_anomaly == bool(flags[i])
+
+    def test_pack_requires_uniform_parameters(self):
+        with pytest.raises(ValueError, match="uniform"):
+            ColumnarNSigma.pack([NSigma(3.0), NSigma(5.0)])
+
+
+def engine_pair(n_series, **engine_kwargs):
+    """Identically configured engines with the kernel on and off."""
+    engines = []
+    for enabled in (True, False):
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, **engine_kwargs)
+        engine.fleet_kernel_enabled = enabled
+        engine.kernel_min_cohort = 2
+        engines.append(engine)
+    return engines
+
+
+def live_records(engine, batches):
+    collected = {}
+    for batch in batches:
+        for record in engine.ingest(batch):
+            if record.status == "live":
+                collected.setdefault(record.key, []).append(record.record)
+    return collected
+
+
+class TestEngineKernelOracle:
+    """Engine ingest with the kernel equals the scalar engine exactly."""
+
+    def make_batches(self, data):
+        length = len(next(iter(data.values())))
+        return [
+            [(key, values[position]) for key, values in data.items()]
+            for position in range(length)
+        ]
+
+    def test_row_ingest_matches_scalar_engine(self):
+        data = {
+            f"host-{i}": fleet_series(i, spike=(INIT + 30 if i == 2 else None))
+            for i in range(9)
+        }
+        batches = self.make_batches(data)
+        fast, reference = engine_pair(9)
+        records_fast = live_records(fast, batches)
+        records_reference = live_records(reference, batches)
+        assert fast._absorbed, "the kernel path never engaged"
+        assert records_fast == records_reference
+        stats_fast = fast.fleet_stats()
+        stats_reference = reference.fleet_stats()
+        assert stats_fast.points_total == stats_reference.points_total
+        assert stats_fast.anomalies_total == stats_reference.anomalies_total
+
+    def test_columnar_and_parallel_ingest_match_rows(self):
+        data = {f"m-{i}": fleet_series(i) for i in range(8)}
+        batches = self.make_batches(data)
+        by_rows, _ = engine_pair(8)
+        records_rows = live_records(by_rows, batches)
+
+        by_dict, _ = engine_pair(8)
+        length = len(next(iter(data.values())))
+        records_dict = {}
+        for start in range(0, length, 7):
+            chunk = {key: values[start : start + 7] for key, values in data.items()}
+            for record in by_dict.ingest(chunk):
+                if record.status == "live":
+                    records_dict.setdefault(record.key, []).append(record.record)
+        assert records_dict == records_rows
+
+        by_parallel, _ = engine_pair(8)
+        keys = list(data)
+        records_parallel = {}
+        for position in range(length):
+            values = np.array([data[key][position] for key in keys])
+            for record in by_parallel.ingest((keys, values)):
+                if record.status == "live":
+                    records_parallel.setdefault(record.key, []).append(
+                        record.record
+                    )
+        assert records_parallel == records_rows
+
+    def test_columnar_ingest_validates_shape(self):
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD)
+        with pytest.raises(ValueError, match="equal-length"):
+            engine.ingest({"a": np.zeros(3), "b": np.zeros(4)})
+        with pytest.raises(ValueError, match="parallel-array"):
+            engine.ingest((["a", "b"], np.zeros(3)))
+        assert engine.ingest({}) == []
+
+    def test_warming_live_mix_matches(self):
+        """Keys created at different times: warming and kernel keys coexist."""
+        data = {f"early-{i}": fleet_series(i, length=PERIOD * 10) for i in range(8)}
+        late = {f"late-{i}": fleet_series(20 + i, length=PERIOD * 10) for i in range(3)}
+        fast, reference = engine_pair(8 + 3)
+        records = {True: {}, False: {}}
+        for enabled, engine in ((True, fast), (False, reference)):
+            for position in range(PERIOD * 10):
+                batch = [(key, values[position]) for key, values in data.items()]
+                if position >= PERIOD * 3:
+                    batch += [
+                        (key, values[position - PERIOD * 3])
+                        for key, values in late.items()
+                    ]
+                for record in engine.ingest(batch):
+                    if record.status == "live":
+                        records[enabled].setdefault(record.key, []).append(
+                            record.record
+                        )
+        assert records[True] == records[False]
+        assert any(key in fast._absorbed for key in late)
+
+    def test_nan_through_kernel_path_matches(self):
+        data = {f"m-{i}": fleet_series(i) for i in range(8)}
+        for i in (1, 5):
+            data[f"m-{i}"][INIT + 25] = np.nan
+        batches = self.make_batches(data)
+        fast, reference = engine_pair(8)
+        assert live_records(fast, batches) == live_records(reference, batches)
+
+    def test_infinite_value_raises_in_input_order(self):
+        data = {f"m-{i}": fleet_series(i) for i in range(8)}
+        batches = self.make_batches(data)
+        fast, _ = engine_pair(8)
+        live_records(fast, batches[: PERIOD * 5])
+        assert fast._absorbed
+        poison = [(key, values[0]) for key, values in data.items()]
+        poison[3] = (poison[3][0], float("inf"))
+        with pytest.raises(ValueError, match="non-finite"):
+            fast.ingest(poison)
+
+    def test_mixed_specs_route_to_separate_groups(self):
+        """Per-key overrides create distinct cohorts, each batched."""
+        spec = EngineSpec(
+            pipeline=PipelineSpec(
+                decomposer=DecomposerSpec("oneshotstl", {"period": PERIOD}),
+                detector=DetectorSpec("nsigma", {"threshold": 5.0}),
+            ),
+            initialization_length=INIT,
+            overrides={
+                f"sensitive-{i}": PipelineSpec(
+                    decomposer=DecomposerSpec(
+                        "oneshotstl", {"period": PERIOD, "iterations": 2}
+                    ),
+                    detector=DetectorSpec("nsigma", {"threshold": 3.0}),
+                )
+                for i in range(4)
+            },
+        )
+        data = {f"plain-{i}": fleet_series(i) for i in range(4)}
+        data.update(
+            {f"sensitive-{i}": fleet_series(10 + i) for i in range(4)}
+        )
+        batches = [
+            [(key, values[position]) for key, values in data.items()]
+            for position in range(PERIOD * 8)
+        ]
+        fast = MultiSeriesEngine.from_spec(spec)
+        fast.kernel_min_cohort = 2
+        reference = MultiSeriesEngine.from_spec(spec)
+        reference.fleet_kernel_enabled = False
+        assert live_records(fast, batches) == live_records(reference, batches)
+        assert len(fast._groups) == 2
+
+    def test_incompatible_decomposers_stay_on_scalar_path(self):
+        def factory(key):
+            if key.startswith("slow"):
+                return StreamingPipeline(OnlineSTL(PERIOD))
+            return StreamingPipeline(OneShotSTL(PERIOD, shift_window=0))
+
+        with pytest.warns(DeprecationWarning):
+            engine = MultiSeriesEngine(factory, initialization_length=INIT)
+        engine.kernel_min_cohort = 2
+        data = {f"slow-{i}": fleet_series(i) for i in range(2)}
+        data.update({f"fast-{i}": fleet_series(5 + i) for i in range(4)})
+        for batch in self.make_batches(data):
+            engine.ingest(batch)
+        assert all(not key.startswith("slow") for key in engine._absorbed)
+        assert any(key.startswith("fast") for key in engine._absorbed)
+
+    def test_single_key_process_interleaves_with_kernel(self):
+        data = {f"m-{i}": fleet_series(i, length=PERIOD * 12) for i in range(8)}
+        fast, reference = engine_pair(8)
+        for position in range(PERIOD * 6):
+            batch = [(key, values[position]) for key, values in data.items()]
+            fast.ingest(batch)
+            reference.ingest(batch)
+        assert fast._absorbed
+        for position in range(PERIOD * 6, PERIOD * 7):
+            for key, values in data.items():
+                fast_record = fast.process(key, float(values[position]))
+                reference_record = reference.process(key, float(values[position]))
+                assert fast_record.record == reference_record.record
+        # ...and batched ingest keeps matching after the interleaved calls.
+        batches = [
+            [(key, values[position]) for key, values in data.items()]
+            for position in range(PERIOD * 7, PERIOD * 8)
+        ]
+        assert live_records(fast, batches) == live_records(reference, batches)
+
+    def test_forecast_sees_kernel_state(self):
+        data = {f"m-{i}": fleet_series(i) for i in range(8)}
+        fast, reference = engine_pair(8)
+        batches = self.make_batches(data)
+        live_records(fast, batches)
+        live_records(reference, batches)
+        for key in data:
+            assert np.array_equal(
+                fast.forecast(key, PERIOD), reference.forecast(key, PERIOD)
+            )
+
+
+class TestKernelCheckpointing:
+    def run_batches(self, data, start, stop):
+        return [
+            [(key, values[position]) for key, values in data.items()]
+            for position in range(start, stop)
+        ]
+
+    def test_save_load_round_trip_through_kernel(self, tmp_path):
+        data = {f"m-{i}": fleet_series(i, length=PERIOD * 12) for i in range(8)}
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD)
+        engine.kernel_min_cohort = 2
+        for batch in self.run_batches(data, 0, PERIOD * 8):
+            engine.ingest(batch)
+        assert engine._absorbed
+        path = tmp_path / "fleet.ckpt"
+        engine.save(path)
+
+        restored = MultiSeriesEngine.load(path)
+        restored.kernel_min_cohort = 2
+        tail = self.run_batches(data, PERIOD * 8, PERIOD * 12)
+        continued = [engine.ingest(batch) for batch in tail]
+        reloaded = [restored.ingest(batch) for batch in tail]
+        for before, after in zip(continued, reloaded):
+            assert [r.record for r in before] == [r.record for r in after]
+        # The restored engine re-absorbs its fleet on the batched path.
+        assert restored._absorbed
+
+    def test_checkpoint_format_is_identical_to_scalar_path(self, tmp_path):
+        """A kernel-run engine saves the exact checkpoint a scalar run saves."""
+        data = {f"m-{i}": fleet_series(i) for i in range(8)}
+        fast, reference = engine_pair(8, track_latency=False)
+        for batch in self.run_batches(data, 0, PERIOD * 8):
+            fast.ingest(batch)
+            reference.ingest(batch)
+        assert fast._absorbed and not reference._absorbed
+        fast_path = tmp_path / "fast.ckpt"
+        reference_path = tmp_path / "reference.ckpt"
+        fast.save(fast_path)
+        reference.save(reference_path)
+        fast_engine = MultiSeriesEngine.load(fast_path)
+        reference_engine = MultiSeriesEngine.load(reference_path)
+        record_fast = fast_engine.process("m-0", 0.25)
+        record_reference = reference_engine.process("m-0", 0.25)
+        assert record_fast.record == record_reference.record
+
+    def test_snapshot_restore_through_kernel(self):
+        data = {f"m-{i}": fleet_series(i, length=PERIOD * 12) for i in range(8)}
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD)
+        engine.kernel_min_cohort = 2
+        for batch in self.run_batches(data, 0, PERIOD * 8):
+            engine.ingest(batch)
+        assert engine._absorbed
+        checkpoint = engine.snapshot()
+        tail = self.run_batches(data, PERIOD * 8, PERIOD * 12)
+        first = [engine.ingest(batch) for batch in tail]
+        engine.restore(checkpoint)
+        assert not engine._absorbed  # columnar bookkeeping was reset
+        second = [engine.ingest(batch) for batch in tail]
+        for before, after in zip(first, second):
+            assert [r.record for r in before] == [r.record for r in after]
+
+
+class TestLatencyEdgeCases:
+    def test_empty_window_is_well_defined(self):
+        report = summarize_latencies(np.array([]), method="empty")
+        assert report.points == 0
+        assert report.mean_seconds == 0.0
+        assert report.median_seconds == 0.0
+        assert report.p99_seconds == 0.0
+        assert report.total_seconds == 0.0
+
+    def test_single_sample_window(self):
+        report = summarize_latencies([0.25], method="one")
+        assert report.points == 1
+        assert report.mean_seconds == 0.25
+        assert report.median_seconds == 0.25
+        assert report.p99_seconds == 0.25
+        assert report.total_seconds == 0.25
+
+    def test_no_numpy_warnings_on_edge_windows(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            summarize_latencies(np.array([]), method="empty")
+            summarize_latencies([0.1], method="one")
+
+    def test_fleet_stats_on_empty_fleet(self):
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD)
+        stats = engine.fleet_stats()
+        assert stats.series_total == 0
+        assert stats.points_total == 0
+        assert stats.anomalies_total == 0
+
+    def test_kernel_path_latency_counts_every_point(self):
+        data = {f"m-{i}": fleet_series(i) for i in range(8)}
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, track_latency=True)
+        engine.kernel_min_cohort = 2
+        length = len(next(iter(data.values())))
+        for position in range(length):
+            engine.ingest([(key, values[position]) for key, values in data.items()])
+        assert engine._absorbed
+        for key in data:
+            latency = engine.fleet_stats().per_series[key].latency
+            assert latency is not None
+            assert latency.points == min(length - INIT, 1024)
+            assert latency.p99_seconds >= latency.median_seconds > 0
