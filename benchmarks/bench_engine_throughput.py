@@ -8,9 +8,17 @@ The multi-series engine exists so that the O(1) update can be ran on
   number to compare across commits when the kernel changes,
 * :class:`~repro.streaming.MultiSeriesEngine` throughput while multiplexing
   1, 100 and 1000 independent keyed series through batched row ``ingest``
-  (large same-spec fleets take the columnar fleet-kernel path), and
+  (large same-spec fleets take the columnar fleet-kernel path),
 * the columnar ``ingest({key: values})`` form on the largest fleet, which
-  skips the per-record Python tuples on the way in.
+  skips the per-record Python tuples on the way in (checked to be at least
+  as fast as the row form -- the input paths share every downstream cost),
+* the fully columnar ``ingest_columnar({key: values})`` form -- arrays in,
+  arrays out, records on demand -- which additionally skips the per-row
+  ``EngineRecord`` construction that otherwise dominates large-fleet
+  steady state, and
+* a group-growth micro-benchmark absorbing 500 series into a fleet kernel
+  one at a time, whose two halves are compared to show the
+  capacity-doubling absorption path is linear rather than quadratic.
 
 Reported throughput counts *steady-state online* points only: the
 per-series batch initialization phase runs untimed, and a short online
@@ -49,6 +57,14 @@ INITIALIZATION = 4 * PERIOD
 #: untimed online points per series before the timed engine measurement
 #: (covers solver warm-up and fleet-kernel absorption).
 ONLINE_WARMUP = 10
+
+#: allowed columnar-input shortfall vs row input within one run (noise);
+#: shared with check_perf_regression so the two CI steps enforce one policy.
+INPUT_PATH_TOLERANCE = 0.10
+
+#: one-at-a-time absorption halves ratio above this reads as quadratic
+#: (a truly quadratic path measures ~4); shared with check_perf_regression.
+ABSORB_RATIO_CEILING = 3.0
 
 
 def _series_values(length: int, seed: int) -> np.ndarray:
@@ -146,17 +162,24 @@ def _bench_engine_fleet(
     rows = [_engine_row("engine ingest", n_series, online_points, elapsed)]
 
     if with_columnar:
-        engine.restore(checkpoint)
-        # restore() drops the engine's columnar bookkeeping by design, so
-        # feed one untimed point to re-absorb the fleet -- otherwise the
-        # timed window would pay a one-off re-pack the row measurement
-        # never paid.
-        engine.ingest(
-            {key: values[online_start : online_start + 1] for key, values in data.items()}
-        )
         columnar = {
             key: values[online_start + 1 :] for key, values in data.items()
         }
+
+        def rewind():
+            # restore() drops the engine's columnar bookkeeping by design,
+            # so feed one untimed point to re-absorb the fleet -- otherwise
+            # the timed window would pay a one-off re-pack the row
+            # measurement never paid.
+            engine.restore(checkpoint)
+            engine.ingest(
+                {
+                    key: values[online_start : online_start + 1]
+                    for key, values in data.items()
+                }
+            )
+
+        rewind()
         start = time.perf_counter()
         engine.ingest(columnar)
         elapsed = time.perf_counter() - start
@@ -165,7 +188,61 @@ def _bench_engine_fleet(
                 "engine ingest (columnar)", n_series, online_points - 1, elapsed
             )
         )
+
+        rewind()
+        start = time.perf_counter()
+        result = engine.ingest_columnar(columnar)
+        elapsed = time.perf_counter() - start
+        assert len(result) == (online_points - 1) * n_series
+        rows.append(
+            _engine_row(
+                "engine ingest (columnar results)",
+                n_series,
+                online_points - 1,
+                elapsed,
+            )
+        )
     return rows
+
+
+def _bench_absorption(total: int = 500) -> dict:
+    """One-at-a-time absorption of ``total`` series into one fleet kernel.
+
+    The halves ratio is the linearity check: absorbing the second half into
+    an ever-larger kernel must cost about the same as the first half
+    (capacity-doubled growth); the pre-amortization concatenation path made
+    it grow with the kernel size (quadratic total).
+    """
+    import copy
+
+    from repro.core.fleet import FleetKernel
+
+    values = _series_values(INITIALIZATION + 16, seed=4242)
+    prototype = OneShotSTL(PERIOD, iterations=2)
+    prototype.initialize(values[:INITIALIZATION])
+    for value in values[INITIALIZATION:]:
+        prototype.update(float(value))
+    singles = [
+        FleetKernel.pack([copy.deepcopy(prototype)]) for _ in range(total)
+    ]
+
+    kernel = FleetKernel.pack([copy.deepcopy(prototype)])
+    start = time.perf_counter()
+    for single in singles[: total // 2]:
+        kernel.append(single)
+    first_half = time.perf_counter() - start
+    start = time.perf_counter()
+    for single in singles[total // 2 :]:
+        kernel.append(single)
+    second_half = time.perf_counter() - start
+    return {
+        "config": f"absorb {total} one-at-a-time",
+        "series": kernel.n_series,
+        "online_points": 0,
+        "points_per_sec": 0.0,
+        "us_per_point": (first_half + second_half) / total * 1e6,
+        "absorb_halves_ratio": second_half / first_half,
+    }
 
 
 def _collect(smoke: bool = False) -> list[dict]:
@@ -180,7 +257,62 @@ def _collect(smoke: bool = False) -> list[dict]:
                 with_columnar=n_series == largest,
             )
         )
+    rows.append(_bench_absorption(total=120 if smoke else 500))
     return rows
+
+
+def _config_throughput(rows: list[dict], config: str, series: int) -> float:
+    return next(
+        row["points_per_sec"]
+        for row in rows
+        if row["config"] == config and row["series"] == series
+    )
+
+
+def _check_columnar_paths(rows: list[dict], largest: int) -> list[str]:
+    """Assertion-style sanity checks printed with (and gating) the results.
+
+    * columnar *input* must not be slower than row input (they share every
+      downstream cost, so a regression here means the input path itself
+      rotted -- this was a real historical regression);
+    * columnar *results* must beat the eager record list (skipping the
+      per-row record construction is the whole point);
+    * one-at-a-time absorption must stay linear (halves ratio well under
+      the ~4x a quadratic path would show).
+
+    A small tolerance absorbs benchmark-machine noise on the input check.
+    """
+    row_form = _config_throughput(rows, "engine ingest", largest)
+    columnar_in = _config_throughput(rows, "engine ingest (columnar)", largest)
+    columnar_out = _config_throughput(
+        rows, "engine ingest (columnar results)", largest
+    )
+    absorb = next(row for row in rows if "absorb_halves_ratio" in row)
+    checks = [
+        (
+            f"columnar input >= row input ({columnar_in:.0f} vs {row_form:.0f} "
+            f"pts/s)",
+            columnar_in >= (1.0 - INPUT_PATH_TOLERANCE) * row_form,
+        ),
+        (
+            f"columnar results > row records ({columnar_out:.0f} vs "
+            f"{row_form:.0f} pts/s)",
+            columnar_out > row_form,
+        ),
+        (
+            "one-at-a-time absorption linear (halves ratio "
+            f"{absorb['absorb_halves_ratio']:.2f} < {ABSORB_RATIO_CEILING})",
+            absorb["absorb_halves_ratio"] < ABSORB_RATIO_CEILING,
+        ),
+    ]
+    lines = []
+    failures = []
+    for label, passed in checks:
+        lines.append(f"[{'ok' if passed else 'FAIL'}] {label}")
+        if not passed:
+            failures.append(label)
+    print("\n".join(lines))
+    return failures
 
 
 def _emit(rows: list[dict], smoke: bool) -> None:
@@ -213,6 +345,16 @@ def _emit(rows: list[dict], smoke: bool) -> None:
             for row in rows
             if row["config"] == "engine ingest (columnar)"
         },
+        columnar_results_points_per_sec={
+            str(row["series"]): row["points_per_sec"]
+            for row in rows
+            if row["config"] == "engine ingest (columnar results)"
+        },
+        absorb_halves_ratio=next(
+            row["absorb_halves_ratio"]
+            for row in rows
+            if "absorb_halves_ratio" in row
+        ),
         raw_kernel_points_per_sec=next(
             row["points_per_sec"] for row in rows if row["config"] == "raw OneShotSTL"
         ),
@@ -232,8 +374,17 @@ def test_engine_throughput(run_once):
     # ...and its per-point bookkeeping overhead on a single series must stay
     # a small factor over the raw kernel hot path.
     assert by_series[1]["us_per_point"] < 3.0 * raw["us_per_point"]
+    # The columnar input/result paths must not regress behind the row path
+    # (and absorption must stay linear) -- see _check_columnar_paths.
+    assert not _check_columnar_paths(rows, largest)
 
 
 if __name__ == "__main__":
     smoke = "--smoke" in sys.argv
-    _emit(_collect(smoke=smoke), smoke=smoke)
+    rows = _collect(smoke=smoke)
+    _emit(rows, smoke=smoke)
+    failures = _check_columnar_paths(
+        rows, max(row["series"] for row in rows if row["config"] == "engine ingest")
+    )
+    if failures:
+        sys.exit(f"columnar-path checks failed: {failures}")

@@ -5,13 +5,17 @@ Compares a fresh ``BENCH_engine.json`` (written by
 exit code 1 -- if large-fleet throughput regressed beyond the tolerance.
 
 Because CI machines and the machine that produced the committed baseline
-run at different absolute speeds, the gated metric is *normalized*: the
-1000-series engine throughput divided by the raw single-series kernel
-throughput measured in the same run.  That ratio captures how well the
-fleet kernel amortizes the per-point cost across a large fleet -- the
-property this gate protects -- while machine speed cancels out.  A ratio
-drop of more than ``--tolerance`` (default 0.30, i.e. 30%) vs the baseline
-fails the gate::
+run at different absolute speeds, the gated metrics are *normalized*: the
+1000-series engine throughput (both the eager row-record form and the
+columnar arrays-out ``ingest_columnar`` form) divided by the raw
+single-series kernel throughput measured in the same run.  Those ratios
+capture how well the fleet kernel amortizes the per-point cost across a
+large fleet -- the property this gate protects -- while machine speed
+cancels out.  A ratio drop of more than ``--tolerance`` (default 0.30,
+i.e. 30%) vs the baseline fails the gate.  The gate additionally checks,
+within the current run alone, that columnar *input* did not fall behind
+row input (a historical regression) and that one-at-a-time kernel
+absorption stayed linear::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
     PYTHONPATH=src python benchmarks/check_perf_regression.py
@@ -37,11 +41,21 @@ from pathlib import Path
 #: fleet size whose normalized throughput is gated
 GATED_FLEET = "1000"
 
+#: gated metrics: JSON field -> human label
+GATED_METRICS = {
+    "points_per_sec": "row ingest",
+    "columnar_results_points_per_sec": "columnar results ingest",
+}
 
-def normalized_ratio(document: dict, source: str) -> float:
+#: thresholds shared with the benchmark's own assertion-style checks, so
+#: the bench step and this gate enforce a single policy (imported lazily
+#: inside current_run_checks to keep this script path-independent).
+
+
+def normalized_ratio(document: dict, source: str, metric: str) -> float:
     """1000-series engine throughput relative to the raw kernel's."""
     try:
-        fleet = document["points_per_sec"][GATED_FLEET]
+        fleet = document[metric][GATED_FLEET]
         raw = document["raw_kernel_points_per_sec"]
     except KeyError as error:
         raise SystemExit(
@@ -52,6 +66,34 @@ def normalized_ratio(document: dict, source: str) -> float:
     if raw <= 0:
         raise SystemExit(f"{source}: non-positive raw kernel throughput")
     return fleet / raw
+
+
+def current_run_checks(current: dict, source: str) -> list[str]:
+    """Self-contained checks on the fresh run (no baseline needed)."""
+    sys.path.insert(0, str(Path(__file__).parent))
+    from bench_engine_throughput import (
+        ABSORB_RATIO_CEILING,
+        INPUT_PATH_TOLERANCE,
+    )
+
+    failures = []
+    try:
+        row_form = current["points_per_sec"][GATED_FLEET]
+        columnar_in = current["columnar_points_per_sec"][GATED_FLEET]
+    except KeyError as error:
+        raise SystemExit(f"{source}: missing {error.args[0]!r}")
+    if columnar_in < (1.0 - INPUT_PATH_TOLERANCE) * row_form:
+        failures.append(
+            f"columnar input path fell behind row input "
+            f"({columnar_in:.0f} vs {row_form:.0f} pts/s)"
+        )
+    absorb = current.get("absorb_halves_ratio")
+    if absorb is not None and absorb >= ABSORB_RATIO_CEILING:
+        failures.append(
+            f"one-at-a-time absorption looks quadratic "
+            f"(halves ratio {absorb:.2f} >= {ABSORB_RATIO_CEILING})"
+        )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -89,28 +131,35 @@ def main(argv: list[str] | None = None) -> int:
                 "baseline's regime (no --smoke, default REPRO_BENCH_SCALE, "
                 "for the committed baseline)."
             )
-    baseline_ratio = normalized_ratio(baseline, str(arguments.baseline))
-    current_ratio = normalized_ratio(current, str(arguments.current))
-    floor = baseline_ratio * (1.0 - arguments.tolerance)
-
-    print(
-        f"{GATED_FLEET}-series throughput / raw kernel throughput:\n"
-        f"  baseline  {baseline_ratio:8.3f}"
-        f"  ({baseline['points_per_sec'][GATED_FLEET]:12.0f} pts/s,"
-        f" workload={baseline.get('workload', '?')})\n"
-        f"  current   {current_ratio:8.3f}"
-        f"  ({current['points_per_sec'][GATED_FLEET]:12.0f} pts/s,"
-        f" workload={current.get('workload', '?')})\n"
-        f"  floor     {floor:8.3f}  (tolerance {arguments.tolerance:.0%})"
-    )
-    if current_ratio < floor:
+    failed = False
+    for metric, label in GATED_METRICS.items():
+        baseline_ratio = normalized_ratio(baseline, str(arguments.baseline), metric)
+        current_ratio = normalized_ratio(current, str(arguments.current), metric)
+        floor = baseline_ratio * (1.0 - arguments.tolerance)
         print(
-            f"FAIL: {GATED_FLEET}-series normalized throughput regressed "
-            f"{1.0 - current_ratio / baseline_ratio:.0%} vs the committed "
-            "baseline (allowed: "
-            f"{arguments.tolerance:.0%}).  If the regression is intentional, "
-            "refresh benchmarks/BENCH_engine.json (see module docstring)."
+            f"{GATED_FLEET}-series {label} / raw kernel throughput:\n"
+            f"  baseline  {baseline_ratio:8.3f}"
+            f"  ({baseline[metric][GATED_FLEET]:12.0f} pts/s,"
+            f" workload={baseline.get('workload', '?')})\n"
+            f"  current   {current_ratio:8.3f}"
+            f"  ({current[metric][GATED_FLEET]:12.0f} pts/s,"
+            f" workload={current.get('workload', '?')})\n"
+            f"  floor     {floor:8.3f}  (tolerance {arguments.tolerance:.0%})"
         )
+        if current_ratio < floor:
+            print(
+                f"FAIL: {GATED_FLEET}-series normalized {label} throughput "
+                f"regressed {1.0 - current_ratio / baseline_ratio:.0%} vs the "
+                "committed baseline (allowed: "
+                f"{arguments.tolerance:.0%}).  If the regression is "
+                "intentional, refresh benchmarks/BENCH_engine.json (see "
+                "module docstring)."
+            )
+            failed = True
+    for failure in current_run_checks(current, str(arguments.current)):
+        print(f"FAIL: {failure}")
+        failed = True
+    if failed:
         return 1
     print("OK: no large-fleet throughput regression beyond tolerance.")
     return 0

@@ -50,6 +50,7 @@ from repro.core.oneshotstl import (
 )
 from repro.core.online_system import HALF_BANDWIDTH, ContributionWorkspace
 from repro.solvers.batched_ldlt import BatchedIncrementalLDLT
+from repro.utils import amortized_append
 
 __all__ = ["ColumnarNSigma", "FleetKernel", "FleetUpdate"]
 
@@ -140,14 +141,15 @@ class ColumnarNSigma:
         self.m2[index] = scorer._m2
 
     def append(self, other: "ColumnarNSigma") -> None:
+        """Append members with amortized (capacity-doubling) growth."""
         if (
             other.threshold != self.threshold
             or other.minimum_std != self.minimum_std
         ):
             raise ValueError("parameter mismatch between columnar batches")
-        self.count = np.concatenate([self.count, other.count])
-        self.mean = np.concatenate([self.mean, other.mean])
-        self.m2 = np.concatenate([self.m2, other.m2])
+        self.count = amortized_append(self.count, other.count)
+        self.mean = amortized_append(self.mean, other.mean)
+        self.m2 = amortized_append(self.m2, other.m2)
 
     def select(self, columns: np.ndarray) -> "ColumnarNSigma":
         return ColumnarNSigma(
@@ -245,6 +247,20 @@ class FleetKernel:
         self._n = int(n_series)
         # Scalar workspace shared by the per-series fallback paths.
         self._workspace = ContributionWorkspace(self.lambda1, self.lambda2)
+        # Reusable per-update workspaces (allocated lazily, sized to n):
+        # the row-index gather vector and the per-iteration pattern/rhs
+        # buffers of _advance_batched.  Purely an allocation-avoidance
+        # cache -- no decomposition state lives here.
+        self._arange: np.ndarray | None = None
+        self._pattern_values: np.ndarray | None = None
+        self._rhs_values: np.ndarray | None = None
+
+    def _rows(self) -> np.ndarray:
+        """``np.arange(n_series)`` (cached; used for per-series gathers)."""
+        rows = self._arange
+        if rows is None or rows.size != self._n:
+            self._arange = rows = np.arange(self._n)
+        return rows
 
     # ----------------------------------------------------------- construction
 
@@ -400,31 +416,38 @@ class FleetKernel:
     # ------------------------------------------------------ batch membership
 
     def append(self, other: "FleetKernel") -> None:
-        """Append the members of ``other`` (same configuration required)."""
+        """Append the members of ``other`` (same configuration required).
+
+        Growth is amortized: every columnar array (and the batched solvers'
+        state buffers) carries hidden spare capacity that is doubled when
+        exhausted, so absorbing a trickle of late-joining series one
+        cohort at a time costs O(total members) instead of one full-fleet
+        copy per cohort.
+        """
         if other.get_params() != self.get_params():
             raise ValueError("configuration mismatch between fleet kernels")
-        self.seasonal_buffer = np.concatenate(
-            [self.seasonal_buffer, other.seasonal_buffer]
+        self.seasonal_buffer = amortized_append(
+            self.seasonal_buffer, other.seasonal_buffer
         )
-        self.global_index = np.concatenate([self.global_index, other.global_index])
-        self.points_processed = np.concatenate(
-            [self.points_processed, other.points_processed]
+        self.global_index = amortized_append(self.global_index, other.global_index)
+        self.points_processed = amortized_append(
+            self.points_processed, other.points_processed
         )
-        self.last_trend = np.concatenate([self.last_trend, other.last_trend])
-        self.last_detection_residual = np.concatenate(
-            [self.last_detection_residual, other.last_detection_residual]
+        self.last_trend = amortized_append(self.last_trend, other.last_trend)
+        self.last_detection_residual = amortized_append(
+            self.last_detection_residual, other.last_detection_residual
         )
-        self.last_applied_shift = np.concatenate(
-            [self.last_applied_shift, other.last_applied_shift]
+        self.last_applied_shift = amortized_append(
+            self.last_applied_shift, other.last_applied_shift
         )
         self.monitor.append(other.monitor)
         for mine, theirs in zip(self.iteration_states, other.iteration_states):
             mine.solver.append(theirs.solver)
-            mine.previous_trend = np.concatenate(
-                [mine.previous_trend, theirs.previous_trend]
+            mine.previous_trend = amortized_append(
+                mine.previous_trend, theirs.previous_trend
             )
-            mine.before_previous_trend = np.concatenate(
-                [mine.before_previous_trend, theirs.before_previous_trend]
+            mine.before_previous_trend = amortized_append(
+                mine.before_previous_trend, theirs.before_previous_trend
             )
         self._n += other._n
 
@@ -484,6 +507,7 @@ class FleetKernel:
             return result
 
         n = self._n
+        rows = self._rows()
         values = np.asarray(values, dtype=float)
         if values.shape != (n,):
             raise ValueError(f"values must have shape ({n},)")
@@ -493,20 +517,22 @@ class FleetKernel:
         finite = np.isfinite(values)
         if not finite.all():
             phase = self.global_index % self.period
-            forecast = self.last_trend + self.seasonal_buffer[
-                np.arange(n), phase
-            ]
+            forecast = self.last_trend + self.seasonal_buffer[rows, phase]
             values = np.where(finite, values, forecast)
 
         # Advance every series through the I IRLS iterations with one
-        # batched solver append + tail solve per iteration.  Pre-advance
-        # trend pairs are kept (rebound, not mutated) for the per-series
-        # shift-search fallback below.
-        anchor = self.seasonal_buffer[np.arange(n), self.global_index % self.period]
-        previous_trends = [
-            (state.previous_trend, state.before_previous_trend)
-            for state in self.iteration_states
-        ]
+        # batched solver append + tail solve per iteration.  The advance
+        # updates the trend-pair state in place, so the pre-advance pairs
+        # are copied out first for the per-series shift-search fallback --
+        # only when the shift search is enabled at all.
+        anchor = self.seasonal_buffer[rows, self.global_index % self.period]
+        if self.shift_window > 0:
+            previous_trends = [
+                (state.previous_trend.copy(), state.before_previous_trend.copy())
+                for state in self.iteration_states
+            ]
+        else:
+            previous_trends = None
         trend, seasonal = self._advance_batched(values, anchor)
         residual = (values - trend) - seasonal
         detection_residual = residual
@@ -535,13 +561,15 @@ class FleetKernel:
 
         # The monitor tracks the *detection* residual so that one corrected
         # point does not mask a persistent problem from the statistics.
+        # All per-series state is written in place (never rebound) so the
+        # arrays keep their append capacity (see :meth:`append`).
         self.monitor.update(detection_residual)
         position = (self.global_index + chosen_shift) % self.period
-        self.seasonal_buffer[np.arange(n), position] = seasonal
+        self.seasonal_buffer[rows, position] = seasonal
         self.global_index += 1
         self.points_processed += 1
-        self.last_trend = trend
-        self.last_detection_residual = detection_residual
+        np.copyto(self.last_trend, trend)
+        np.copyto(self.last_detection_residual, detection_residual)
         return FleetUpdate(values, trend, seasonal, residual, detection_residual)
 
     # ------------------------------------------------------------- internals
@@ -558,27 +586,37 @@ class FleetKernel:
         epsilon = self.epsilon
         next_p = np.ones(n)
         next_q = np.ones(n)
-        pattern_values = np.empty((n, _PATTERN_ROWS.size))
-        pattern_values[:, :4] = 1.0
-        rhs = np.empty((n, 2))
-        rhs[:, 0] = values
-        rhs[:, 1] = values + anchor
+        # The pattern/rhs workspaces are cell-major ((13, n) / (2, n)) so
+        # the batched solver consumes their transposed views without a
+        # transposition copy (see BatchedIncrementalLDLT.extend).
+        pattern_values = self._pattern_values
+        if pattern_values is None or pattern_values.shape[1] != n:
+            self._pattern_values = pattern_values = np.empty(
+                (_PATTERN_ROWS.size, n)
+            )
+            self._rhs_values = np.empty((2, n))
+        rhs = self._rhs_values
+        pattern_values[:4] = 1.0
+        rhs[0] = values
+        rhs[1] = values + anchor
+        pattern_t = pattern_values.T
+        rhs_t = rhs.T
         trend = seasonal = None
         for state in self.iteration_states:
             # Mirrors ContributionWorkspace.fill's steady-state pattern.
             first_weight = self.lambda1 * next_p
             second_weight = self.lambda2 * next_q
-            pattern_values[:, 4] = first_weight
-            pattern_values[:, 5] = first_weight
-            pattern_values[:, 6] = -first_weight
-            pattern_values[:, 7] = second_weight
-            pattern_values[:, 8] = 4.0 * second_weight
-            pattern_values[:, 9] = second_weight
-            pattern_values[:, 10] = -2.0 * second_weight
-            pattern_values[:, 11] = second_weight
-            pattern_values[:, 12] = -2.0 * second_weight
+            pattern_values[4] = first_weight
+            pattern_values[5] = first_weight
+            pattern_values[6] = -first_weight
+            pattern_values[7] = second_weight
+            pattern_values[8] = 4.0 * second_weight
+            pattern_values[9] = second_weight
+            pattern_values[10] = -2.0 * second_weight
+            pattern_values[11] = second_weight
+            pattern_values[12] = -2.0 * second_weight
             state.solver.extend(
-                2, _PATTERN_ROWS, _PATTERN_COLS, pattern_values, rhs
+                2, _PATTERN_ROWS, _PATTERN_COLS, pattern_t, rhs_t
             )
             tail = state.solver.tail_solution(2)
             trend = tail[:, 0]
@@ -592,8 +630,11 @@ class FleetKernel:
                 ),
                 epsilon,
             )
-            state.before_previous_trend = state.previous_trend
-            state.previous_trend = trend
+            # In-place writes (not rebinds) keep the trend-pair arrays'
+            # append capacity; update() copies the pre-advance pairs out
+            # beforehand when the shift-search fallback may need them.
+            np.copyto(state.before_previous_trend, state.previous_trend)
+            np.copyto(state.previous_trend, trend)
         return trend, seasonal
 
     def _shift_search_fallback(

@@ -6,15 +6,19 @@ operations per append instead of a Python loop over ``n`` scalar
 :class:`~repro.solvers.incremental_ldlt.IncrementalBandedLDLT` instances.
 It is the linear-algebra substrate of the fleet kernel
 (:class:`repro.core.fleet.FleetKernel`): a thousand-series fleet pays one
-elimination sweep of ``(n, w, w)``-shaped arrays per point, so the per-point
-cost of the whole fleet approaches the cost of a single series.
+elimination sweep of small stacked blocks per point, so the per-point cost
+of the whole fleet approaches the cost of a single series.
 
-The state layout is columnar (struct of arrays): the corrected trailing
-block of every system is one contiguous ``(n, w, w)`` array, the corrected
-right-hand sides one ``(n, w)`` array.  Because each system is independent,
-every scalar operation of the sequential solver becomes one elementwise
-array operation over the leading ``n`` axis, applied in *exactly the same
-order* as the scalar kernel performs it.  Elementwise IEEE-754 double
+The state layout is columnar (struct of arrays) and *cell-major*: the
+corrected trailing block of every system is stored as one ``(w, w, n)``
+array -- entry ``(i, j)`` of all ``n`` systems is a contiguous vector --
+and the corrected right-hand sides as ``(w, n)``.  Because each system is
+independent, every scalar operation of the sequential solver becomes one
+elementwise array operation over the trailing ``n`` axis, applied in
+*exactly the same order* as the scalar kernel performs it; the cell-major
+layout makes every one of those operations a contiguous vector operation
+(series-major ``(n, w, w)`` storage would turn each cell access into a
+strided gather, which costs ~3x in practice).  Elementwise IEEE-754 double
 arithmetic is identical between Python floats and NumPy float64 (both are
 round-to-nearest binary64, and no reductions or fused operations are
 involved), so the batched solver reproduces the scalar solver's results
@@ -31,17 +35,24 @@ Two deliberate differences from the scalar solver's *shape* (not values):
   times) while sharing the same local update pattern.  Local index ``i``
   corresponds to absolute index ``size - w + i`` of that member's system.
 
-:meth:`rollback` undoes the most recent :meth:`extend` for the whole batch
-in O(1) (the extend path rebinds rather than mutates the arrays), and
-:meth:`undo_state` exposes the saved pre-extend arrays so a caller can
-rebuild one member's pre-extend scalar state without rolling back the rest
-of the fleet -- which is how the fleet kernel retries a single series'
-seasonality-shift search while the other series keep their committed
-update.
+Internally the corrected state lives in a pair of capacity-managed
+*ping-pong* buffers: every :meth:`extend` computes the new trailing state
+into the inactive buffer and flips, which makes :meth:`rollback` an O(1)
+flip back (the previous state is still sitting in the other buffer) and
+removes all per-point allocation from the hot path (the extended-block
+workspaces are reused call to call).  The spare columns of the buffers
+double as append capacity: absorbing ``m`` late-joining members costs O(m)
+amortized instead of one full copy per absorption.  :meth:`undo_state` /
+:meth:`extract_pre_extend` expose the saved pre-extend state so a caller
+can rebuild one member's pre-extend scalar state without rolling back the
+rest of the fleet -- which is how the fleet kernel retries a single
+series' seasonality-shift search while the other series keep their
+committed update.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
@@ -49,6 +60,9 @@ import numpy as np
 from repro.solvers.incremental_ldlt import IncrementalBandedLDLT
 
 __all__ = ["BatchedIncrementalLDLT"]
+
+#: smallest buffer capacity (members) allocated for a non-empty batch
+_MIN_CAPACITY = 8
 
 
 class BatchedIncrementalLDLT:
@@ -82,7 +96,7 @@ class BatchedIncrementalLDLT:
         w = int(half_bandwidth)
         m_trail = np.asarray(m_trail, dtype=float)
         bp_trail = np.asarray(bp_trail, dtype=float)
-        sizes = np.asarray(sizes, dtype=np.int64)
+        sizes = np.array(sizes, dtype=np.int64)
         if m_trail.ndim != 3 or m_trail.shape[1:] != (w, w):
             raise ValueError(f"m_trail must have shape (n, {w}, {w})")
         n = m_trail.shape[0]
@@ -91,11 +105,71 @@ class BatchedIncrementalLDLT:
         if sizes.shape != (n,):
             raise ValueError(f"sizes must have shape ({n},)")
         self.half_bandwidth = w
-        self._m_trail = m_trail
-        self._bp_trail = bp_trail
-        self._sizes = sizes
-        #: saved pre-extend state references for :meth:`rollback`
-        self._undo: tuple | None = None
+        self._n = n
+        #: ping-pong state buffers in cell-major layout -- ``(w, w, cap)``
+        #: blocks and ``(w, cap)`` right-hand sides: index ``_cur`` holds
+        #: the committed state, the other side holds the pre-extend state
+        #: while an undo level is available (and is scratch otherwise).
+        #: The spare trailing columns are append capacity.
+        self._m_buffers: list[np.ndarray | None] = [
+            np.ascontiguousarray(m_trail.transpose(1, 2, 0)),
+            None,
+        ]
+        self._b_buffers: list[np.ndarray | None] = [
+            np.ascontiguousarray(bp_trail.T),
+            None,
+        ]
+        self._s_buffers: list[np.ndarray | None] = [sizes, None]
+        self._cur = 0
+        self._undo_ok = False
+        #: reusable extended-block workspaces keyed by block size, and the
+        #: reusable tail-solve workspaces (allocated lazily, grown with n)
+        self._extend_scratch: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._tail_scratch: tuple[np.ndarray, np.ndarray] | None = None
+        #: cache of the last validated update-pattern arrays (the fleet
+        #: kernel passes the same module-constant pattern on every point)
+        self._pattern_cache: tuple | None = None
+
+    # ------------------------------------------------------- state plumbing
+
+    def _m_state(self) -> np.ndarray:
+        """Committed trailing blocks, cell-major ``(w, w, n)`` live view."""
+        return self._m_buffers[self._cur][:, :, : self._n]
+
+    def _b_state(self) -> np.ndarray:
+        """Committed right-hand sides, cell-major ``(w, n)`` live view."""
+        return self._b_buffers[self._cur][:, : self._n]
+
+    @property
+    def _m_trail(self) -> np.ndarray:
+        """Committed trailing blocks as a series-major ``(n, w, w)`` view.
+
+        A transposed (non-contiguous) view of the live state: reads and
+        writes go straight through, which is what the cold scalar-interop
+        paths use.  The hot paths work on the cell-major state directly.
+        """
+        return self._m_state().transpose(2, 0, 1)
+
+    @property
+    def _bp_trail(self) -> np.ndarray:
+        """Committed right-hand sides as a series-major ``(n, w)`` view."""
+        return self._b_state().T
+
+    @property
+    def _sizes(self) -> np.ndarray:
+        """Committed member sizes, shape ``(n,)`` (live view)."""
+        return self._s_buffers[self._cur][: self._n]
+
+    def _other_side(self, capacity: int) -> int:
+        """Index of the inactive buffer side, (re)allocated to ``capacity``."""
+        other = 1 - self._cur
+        buffer = self._m_buffers[other]
+        if buffer is None or buffer.shape[2] < capacity:
+            w = self.half_bandwidth
+            self._m_buffers[other] = np.empty((w, w, capacity))
+            self._b_buffers[other] = np.empty((w, capacity))
+            self._s_buffers[other] = np.empty(capacity, dtype=np.int64)
+        return other
 
     # ----------------------------------------------------------- construction
 
@@ -141,7 +215,7 @@ class BatchedIncrementalLDLT:
     @property
     def n_series(self) -> int:
         """Number of member systems."""
-        return self._m_trail.shape[0]
+        return self._n
 
     @property
     def sizes(self) -> np.ndarray:
@@ -162,7 +236,27 @@ class BatchedIncrementalLDLT:
     def extract(self, index: int) -> IncrementalBandedLDLT:
         """Materialize member ``index`` as an equivalent scalar solver."""
         return self._make_scalar(
-            self._m_trail[index], self._bp_trail[index], int(self._sizes[index])
+            self._m_state()[:, :, index],
+            self._b_state()[:, index],
+            int(self._sizes[index]),
+        )
+
+    def undo_state(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The saved pre-extend ``(m_trail, bp_trail, sizes)`` views.
+
+        Series-major views (``(n, w, w)`` / ``(n, w)`` / ``(n,)``) of the
+        inactive buffer side.  Requires an unconsumed undo level; the views
+        must be treated as read-only (they will be overwritten by the next
+        :meth:`extend`).
+        """
+        if not self._undo_ok:
+            raise ValueError("no extend to read back (a single undo level is kept)")
+        other = 1 - self._cur
+        n = self._n
+        return (
+            self._m_buffers[other][:, :, :n].transpose(2, 0, 1),
+            self._b_buffers[other][:, :n].T,
+            self._s_buffers[other][:n],
         )
 
     def extract_pre_extend(self, index: int) -> IncrementalBandedLDLT:
@@ -173,9 +267,7 @@ class BatchedIncrementalLDLT:
         since).  Used by the fleet kernel to rerun one series' point without
         disturbing the rest of the batch.
         """
-        if self._undo is None:
-            raise ValueError("no extend to read back (a single undo level is kept)")
-        m_trail, bp_trail, sizes = self._undo
+        m_trail, bp_trail, sizes = self.undo_state()
         return self._make_scalar(m_trail[index], bp_trail[index], int(sizes[index]))
 
     def _make_scalar(
@@ -192,13 +284,18 @@ class BatchedIncrementalLDLT:
         return solver
 
     def load(self, index: int, solver: IncrementalBandedLDLT) -> None:
-        """Overwrite member ``index`` with a scalar solver's state."""
+        """Overwrite member ``index`` with a scalar solver's state.
+
+        The pending undo level (if any) is left untouched, so the fleet
+        kernel can keep reading other members' pre-extend state after
+        scattering one member's retried update back in.
+        """
         if not solver.is_incremental:
             raise ValueError("only incremental-mode solvers can be loaded")
         if solver.half_bandwidth != self.half_bandwidth:
             raise ValueError("half bandwidth mismatch")
-        self._m_trail[index] = solver._m_trail
-        self._bp_trail[index] = solver._bp_trail
+        self._m_state()[:, :, index] = solver._m_trail
+        self._b_state()[:, index] = solver._bp_trail
         self._sizes[index] = solver.size
 
     def unpack(self) -> list[IncrementalBandedLDLT]:
@@ -208,13 +305,34 @@ class BatchedIncrementalLDLT:
     # ------------------------------------------------------ batch membership
 
     def append(self, other: "BatchedIncrementalLDLT") -> None:
-        """Append the members of ``other`` (e.g. a freshly packed batch)."""
+        """Append the members of ``other`` (e.g. a freshly packed batch).
+
+        Appending is amortized O(members of ``other``): the state buffers
+        carry spare capacity (doubled whenever they fill up), so absorbing
+        a trickle of late-joining series one at a time costs O(total)
+        rather than one full-fleet copy per absorption.
+        """
         if other.half_bandwidth != self.half_bandwidth:
             raise ValueError("half bandwidth mismatch")
-        self._m_trail = np.concatenate([self._m_trail, other._m_trail])
-        self._bp_trail = np.concatenate([self._bp_trail, other._bp_trail])
-        self._sizes = np.concatenate([self._sizes, other._sizes])
-        self._undo = None
+        n, m = self._n, other._n
+        buffer = self._m_buffers[self._cur]
+        if buffer.shape[2] < n + m:
+            capacity = max(2 * (n + m), _MIN_CAPACITY)
+            w = self.half_bandwidth
+            grown_m = np.empty((w, w, capacity))
+            grown_b = np.empty((w, capacity))
+            grown_s = np.empty(capacity, dtype=np.int64)
+            grown_m[:, :, :n] = self._m_state()
+            grown_b[:, :n] = self._b_state()
+            grown_s[:n] = self._sizes
+            self._m_buffers[self._cur] = grown_m
+            self._b_buffers[self._cur] = grown_b
+            self._s_buffers[self._cur] = grown_s
+        self._m_buffers[self._cur][:, :, n : n + m] = other._m_state()
+        self._b_buffers[self._cur][:, n : n + m] = other._b_state()
+        self._s_buffers[self._cur][n : n + m] = other._sizes
+        self._n = n + m
+        self._undo_ok = False
 
     def select(self, columns: np.ndarray) -> "BatchedIncrementalLDLT":
         """Gathered copy of the members at ``columns`` (fancy indexing)."""
@@ -227,19 +345,56 @@ class BatchedIncrementalLDLT:
 
     def assign(self, columns: np.ndarray, other: "BatchedIncrementalLDLT") -> None:
         """Scatter the members of ``other`` back into ``columns``."""
-        self._m_trail[columns] = other._m_trail
-        self._bp_trail[columns] = other._bp_trail
+        self._m_state()[:, :, columns] = other._m_state()
+        self._b_state()[:, columns] = other._b_state()
         self._sizes[columns] = other._sizes
-        self._undo = None
+        self._undo_ok = False
 
     # -------------------------------------------------------------- advancing
 
     def rollback(self) -> None:
         """Undo the most recent :meth:`extend` for the whole batch in O(1)."""
-        if self._undo is None:
+        if not self._undo_ok:
             raise ValueError("no extend to roll back (a single undo level is kept)")
-        self._m_trail, self._bp_trail, self._sizes = self._undo
-        self._undo = None
+        self._cur = 1 - self._cur
+        self._undo_ok = False
+
+    def _validated_pattern(
+        self, num_new: int, rows, columns
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validate the shared update pattern (cached by argument identity).
+
+        The fleet kernel passes the same module-constant pattern arrays on
+        every single point, so after the first call the (pure) validation
+        is skipped entirely.
+        """
+        cache = self._pattern_cache
+        if (
+            cache is not None
+            and cache[0] is rows
+            and cache[1] is columns
+            and cache[2] == num_new
+        ):
+            return cache[3], cache[4]
+        w = self.half_bandwidth
+        block = w + num_new
+        checked_rows = np.asarray(rows, dtype=np.intp)
+        checked_columns = np.asarray(columns, dtype=np.intp)
+        if checked_rows.shape != checked_columns.shape or checked_rows.ndim != 1:
+            raise ValueError("rows and columns must be equal-length 1-D arrays")
+        if checked_rows.size and (
+            checked_rows.min() < 0
+            or checked_rows.max() >= block
+            or checked_columns.min() < 0
+            or checked_columns.max() >= block
+            or np.abs(checked_rows - checked_columns).max() > w
+        ):
+            raise ValueError(
+                "update positions must lie in the extended trailing block "
+                f"[0, {block}) and respect the half bandwidth {w}"
+            )
+        self._pattern_cache = (rows, columns, num_new, checked_rows, checked_columns)
+        return checked_rows, checked_columns
 
     def extend(
         self,
@@ -265,55 +420,54 @@ class BatchedIncrementalLDLT:
             solver, each value is added at ``(row, column)`` *and* at the
             mirrored position.
         values:
-            Per-member update values, shape ``(n, k)``.
+            Per-member update values, shape ``(n, k)``.  Passing the
+            transposed view of a C-contiguous ``(k, n)`` buffer (as the
+            fleet kernel does) avoids an internal transposition copy.
         rhs_new:
             Per-member right-hand sides of the appended variables, shape
-            ``(n, num_new)``.
+            ``(n, num_new)``; same transposition note as ``values``.
         """
         w = self.half_bandwidth
         if not 1 <= num_new <= w:
             raise ValueError(f"num_new must be in [1, {w}], got {num_new}")
         block = w + num_new
-        n = self.n_series
-        rows = np.asarray(rows, dtype=np.intp)
-        columns = np.asarray(columns, dtype=np.intp)
+        n = self._n
+        rows, columns = self._validated_pattern(num_new, rows, columns)
         values = np.asarray(values, dtype=float)
         rhs_new = np.asarray(rhs_new, dtype=float)
-        if rows.shape != columns.shape or rows.ndim != 1:
-            raise ValueError("rows and columns must be equal-length 1-D arrays")
         if values.shape != (n, rows.size):
             raise ValueError(f"values must have shape ({n}, {rows.size})")
         if rhs_new.shape != (n, num_new):
             raise ValueError(f"rhs_new must have shape ({n}, {num_new})")
-        if rows.size and (
-            rows.min() < 0
-            or rows.max() >= block
-            or columns.min() < 0
-            or columns.max() >= block
-            or np.abs(rows - columns).max() > w
-        ):
-            raise ValueError(
-                "update positions must lie in the extended trailing block "
-                f"[0, {block}) and respect the half bandwidth {w}"
-            )
+        # Cell-major working copies (no-ops when the caller passed
+        # transposed views of contiguous buffers).
+        values_t = np.ascontiguousarray(values.T)
+        rhs_t = np.ascontiguousarray(rhs_new.T)
 
         # Extended corrected block over local indices [0, block): the old
-        # trailing block in the top-left corner, zeros elsewhere.  Built
-        # fresh (rebind, never mutate) so rollback is a reference swap.
-        matrix = np.zeros((n, block, block))
-        matrix[:, :w, :w] = self._m_trail
-        rhs = np.empty((n, block))
-        rhs[:, :w] = self._bp_trail
-        rhs[:, w:] = rhs_new
+        # trailing block in the top-left corner, zeros elsewhere.  The
+        # workspace is persistent (reused call to call) so the hot path
+        # allocates nothing.
+        scratch = self._extend_scratch.get(block)
+        if scratch is None or scratch[0].shape[2] < n:
+            scratch = (np.empty((block, block, n)), np.empty((block, n)))
+            self._extend_scratch[block] = scratch
+        matrix = scratch[0][:, :, :n]
+        rhs = scratch[1][:, :n]
+        matrix[:w, w:] = 0.0
+        matrix[w:, :] = 0.0
+        matrix[:w, :w] = self._m_state()
+        rhs[:w] = self._b_state()
+        rhs[w:] = rhs_t
 
         # Apply the shared update pattern entry by entry, in caller order --
         # cells hit by several entries must accumulate in the same order as
         # the scalar solver's sequential `+=` for exact reproducibility.
         for position in range(rows.size):
             row, column = rows[position], columns[position]
-            matrix[:, row, column] += values[:, position]
+            matrix[row, column] += values_t[position]
             if row != column:
-                matrix[:, column, row] += values[:, position]
+                matrix[column, row] += values_t[position]
 
         # Eliminate the num_new oldest variables (they are finalized now),
         # folding their Schur-complement correction into the new trailing
@@ -322,23 +476,28 @@ class BatchedIncrementalLDLT:
         # (x - 0.0 * y == x up to the sign of a zero), so the unconditional
         # vectorized form computes the same values.
         for k in range(num_new):
-            pivot = matrix[:, k, k]
-            if not np.all(np.isfinite(pivot)) or np.any(pivot == 0.0):
+            pivot = matrix[k, k]
+            if not math.isfinite(pivot.sum()) or (pivot == 0.0).any():
                 bad = np.flatnonzero(~np.isfinite(pivot) | (pivot == 0.0))
-                raise ValueError(
-                    f"zero or invalid pivot while finalizing local index {k} "
-                    f"of member systems {bad.tolist()}"
-                )
-            factor = matrix[:, k + 1 :, k] / pivot[:, None]
-            matrix[:, k + 1 :, k + 1 :] -= (
-                factor[:, :, None] * matrix[:, None, k, k + 1 :]
-            )
-            rhs[:, k + 1 :] -= factor * rhs[:, None, k]
+                if bad.size:
+                    raise ValueError(
+                        f"zero or invalid pivot while finalizing local index "
+                        f"{k} of member systems {bad.tolist()}"
+                    )
+            factor = matrix[k + 1 :, k] / pivot
+            matrix[k + 1 :, k + 1 :] -= factor[:, None, :] * matrix[k, None, k + 1 :]
+            rhs[k + 1 :] -= factor * rhs[k]
 
-        self._undo = (self._m_trail, self._bp_trail, self._sizes)
-        self._m_trail = np.ascontiguousarray(matrix[:, num_new:, num_new:])
-        self._bp_trail = np.ascontiguousarray(rhs[:, num_new:])
-        self._sizes = self._sizes + num_new
+        # Commit the new trailing state into the inactive buffer and flip:
+        # the pre-extend state stays intact on the other side, which is the
+        # whole of rollback().
+        sizes = self._sizes
+        other = self._other_side(self._m_buffers[self._cur].shape[2])
+        self._m_buffers[other][:, :, :n] = matrix[num_new:, num_new:]
+        self._b_buffers[other][:, :n] = rhs[num_new:]
+        np.add(sizes, num_new, out=self._s_buffers[other][:n])
+        self._cur = other
+        self._undo_ok = True
 
     def tail_solution(self, count: int) -> np.ndarray:
         """Last ``count`` solution entries of every member, shape ``(n, count)``.
@@ -353,28 +512,35 @@ class BatchedIncrementalLDLT:
             raise ValueError(
                 f"count ({count}) cannot exceed the half bandwidth ({w})"
             )
-        n = self.n_series
-        matrix = self._m_trail.copy()
-        rhs = self._bp_trail.copy()
+        n = self._n
+        scratch = self._tail_scratch
+        if scratch is None or scratch[0].shape[2] < n:
+            scratch = (np.empty((w, w, n)), np.empty((w, n)))
+            self._tail_scratch = scratch
+        matrix = scratch[0][:, :, :n]
+        rhs = scratch[1][:, :n]
+        matrix[:] = self._m_state()
+        rhs[:] = self._b_state()
         # Forward elimination, mirroring the scalar kernel sweep for sweep.
         for k in range(w):
-            pivot = matrix[:, k, k]
-            if not np.all(np.isfinite(pivot)) or np.any(pivot == 0.0):
+            pivot = matrix[k, k]
+            if not math.isfinite(pivot.sum()) or (pivot == 0.0).any():
                 bad = np.flatnonzero(~np.isfinite(pivot) | (pivot == 0.0))
-                raise ValueError(
-                    f"singular trailing system at pivot {k} of member "
-                    f"systems {bad.tolist()}"
-                )
-            factor = matrix[:, k + 1 :, k] / pivot[:, None]
-            matrix[:, k + 1 :, k + 1 :] -= (
-                factor[:, :, None] * matrix[:, None, k, k + 1 :]
-            )
-            rhs[:, k + 1 :] -= factor * rhs[:, None, k]
+                if bad.size:
+                    raise ValueError(
+                        f"singular trailing system at pivot {k} of member "
+                        f"systems {bad.tolist()}"
+                    )
+            factor = matrix[k + 1 :, k] / pivot
+            matrix[k + 1 :, k + 1 :] -= factor[:, None, :] * matrix[k, None, k + 1 :]
+            rhs[k + 1 :] -= factor * rhs[k]
         # Back substitution with the scalar kernel's accumulation order.
-        solution = np.empty((n, w))
+        # The solution array is freshly allocated -- it is returned to the
+        # caller, which may hold on to views of it across later calls.
+        solution = np.empty((w, n))
         for i in range(w - 1, -1, -1):
-            accumulator = rhs[:, i]
+            accumulator = rhs[i]
             for j in range(i + 1, w):
-                accumulator = accumulator - matrix[:, i, j] * solution[:, j]
-            solution[:, i] = accumulator / matrix[:, i, i]
-        return solution[:, w - count :]
+                accumulator = accumulator - matrix[i, j] * solution[j]
+            solution[i] = accumulator / matrix[i, i]
+        return solution[w - count :].T

@@ -5,6 +5,7 @@ from repro.streaming.engine import (
     CHECKPOINT_FORMAT_VERSION,
     EngineRecord,
     FleetStats,
+    IngestResult,
     MultiSeriesEngine,
     SeriesStats,
     SeriesStatus,
@@ -20,6 +21,7 @@ __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
     "EngineRecord",
     "FleetStats",
+    "IngestResult",
     "LatencyReport",
     "MultiSeriesEngine",
     "RingBuffer",

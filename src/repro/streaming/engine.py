@@ -21,6 +21,14 @@ keyed streams over the shared fast kernel, with
   per-series scalar path (series are grouped by their
   :class:`~repro.specs.PipelineSpec`; warming, incompatible or
   shift-diverging series fall back per series);
+* **columnar results** -- :meth:`ingest_columnar` (or ``ingest(...,
+  columnar_results=True)``) keeps the outputs in struct-of-arrays form as
+  an :class:`IngestResult`: parallel ``index``/``value``/``trend``/
+  ``seasonal``/``residual``/``anomaly_score``/``is_anomaly``/
+  ``detection_residual``/``live`` arrays, with per-row
+  :class:`EngineRecord` objects materialized lazily on access -- so the
+  fleet kernel's array outputs never detour through per-row Python
+  objects unless the caller actually asks for them;
 * **per-series lazy initialization** -- the first observation of an unseen
   key creates its pipeline; values are buffered until the configured
   initialization window is full, then the batch initialization phase runs
@@ -45,6 +53,7 @@ from __future__ import annotations
 
 import copy
 import enum
+import gc
 import pickle
 import time
 import warnings
@@ -61,12 +70,13 @@ from repro.specs import DecomposerSpec, DetectorSpec, EngineSpec, PipelineSpec
 from repro.streaming.buffer import RingBuffer
 from repro.streaming.latency import LatencyReport, summarize_latencies
 from repro.streaming.pipeline import StreamingPipeline, StreamRecord
-from repro.utils import check_positive_int
+from repro.utils import amortized_append, check_positive_int
 
 __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
     "EngineRecord",
     "FleetStats",
+    "IngestResult",
     "MultiSeriesEngine",
     "SeriesStatus",
     "SeriesStats",
@@ -98,7 +108,7 @@ WARMING = SeriesStatus.WARMING
 LIVE = SeriesStatus.LIVE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EngineRecord:
     """Outcome of ingesting one observation for one key.
 
@@ -114,6 +124,255 @@ class EngineRecord:
     @property
     def is_anomaly(self) -> bool:
         return self.record is not None and self.record.is_anomaly
+
+
+class IngestResult:
+    """Struct-of-arrays view of one batched ingest: arrays out, records on demand.
+
+    The engine's hot path produces its outputs as parallel NumPy arrays --
+    one entry per ingested observation, in (the equivalent) input order --
+    and this class hands them to the caller *without* first exploding them
+    into per-row :class:`EngineRecord`/:class:`StreamRecord` objects, which
+    would otherwise dominate large-fleet ingest cost.
+
+    Columnar fields (all aligned, length ``len(result)``):
+
+    ``index``, ``value``, ``trend``, ``seasonal``, ``residual``,
+    ``anomaly_score``, ``is_anomaly``, ``detection_residual``
+        The per-point :class:`StreamRecord` fields.  Rows whose series was
+        still warming carry NaN (``0``/``False`` for the integer/boolean
+        fields) -- check ``live``.
+    ``live``
+        Boolean mask: ``True`` where the series was live and the row
+        carries a real decomposition (the array analogue of
+        ``record is not None``).
+    ``status``
+        Object array of :class:`SeriesStatus` values (derived lazily from
+        ``live``).
+    ``keys``
+        The row keys, as a list.
+
+    Per-row records are materialized *on demand* and are bit-identical to
+    the eager records the list-returning ``ingest`` produces:
+    ``result[i]`` builds the i-th :class:`EngineRecord`, iteration and
+    :meth:`records` materialize them all, so existing record-oriented
+    consumers keep working against a columnar result.
+    """
+
+    __slots__ = (
+        "_keys_cycle",
+        "_rounds",
+        "index",
+        "value",
+        "trend",
+        "seasonal",
+        "residual",
+        "anomaly_score",
+        "is_anomaly",
+        "detection_residual",
+        "live",
+        "_eager",
+        "_keys",
+        "_status",
+    )
+
+    def __init__(self, keys_cycle: list, rounds: int):
+        size = len(keys_cycle) * rounds
+        self._keys_cycle = list(keys_cycle)
+        self._rounds = int(rounds)
+        self.index = np.zeros(size, dtype=np.int64)
+        self.value = np.full(size, np.nan)
+        self.trend = np.full(size, np.nan)
+        self.seasonal = np.full(size, np.nan)
+        self.residual = np.full(size, np.nan)
+        self.anomaly_score = np.full(size, np.nan)
+        self.is_anomaly = np.zeros(size, dtype=bool)
+        self.detection_residual = np.full(size, np.nan)
+        self.live = np.zeros(size, dtype=bool)
+        #: sparse {position: EngineRecord} for rows that were produced by
+        #: the scalar path (warming rows, custom pipelines): those records
+        #: are returned verbatim instead of being rebuilt from the arrays.
+        self._eager: dict | None = None
+        self._keys: list | None = None
+        self._status: np.ndarray | None = None
+
+    @classmethod
+    def from_records(cls, keys: list, records: list) -> "IngestResult":
+        """Wrap eagerly built records (the engine's sequential fallback)."""
+        result = cls(list(keys), 1 if keys else 0)
+        for position, record in enumerate(records):
+            result._set_eager(position, record)
+        return result
+
+    # ------------------------------------------------------- columnar views
+
+    @property
+    def keys(self) -> list:
+        """Row keys, aligned with the arrays (read-only by convention)."""
+        if self._keys is None:
+            if self._rounds <= 1:
+                self._keys = list(self._keys_cycle)
+            else:
+                self._keys = self._keys_cycle * self._rounds
+        return self._keys
+
+    @property
+    def status(self) -> np.ndarray:
+        """Object array of per-row :class:`SeriesStatus` values."""
+        if self._status is None:
+            status = np.empty(len(self), dtype=object)
+            status[:] = SeriesStatus.WARMING
+            status[self.live] = SeriesStatus.LIVE
+            self._status = status
+        return self._status
+
+    # -------------------------------------------------- records on demand
+
+    def _set_eager(self, position: int, engine_record: EngineRecord) -> None:
+        """Install a scalar-path record, mirroring its fields into the arrays."""
+        if self._eager is None:
+            self._eager = {}
+        self._eager[position] = engine_record
+        record = engine_record.record
+        if record is None:
+            return
+        try:
+            fields = (
+                int(record.index),
+                float(record.value),
+                float(record.trend),
+                float(record.seasonal),
+                float(record.residual),
+                float(record.anomaly_score),
+                bool(record.is_anomaly),
+                float(record.detection_residual),
+            )
+        except (AttributeError, TypeError, ValueError):
+            # A custom (factory-built) pipeline may emit record objects
+            # without the standard numeric fields; they are still returned
+            # verbatim by __getitem__, only the columnar mirror (including
+            # ``live``) stays unset -- never a torn half-written row.
+            return
+        (
+            self.index[position],
+            self.value[position],
+            self.trend[position],
+            self.seasonal[position],
+            self.residual[position],
+            self.anomaly_score[position],
+            self.is_anomaly[position],
+            self.detection_residual[position],
+        ) = fields
+        self.live[position] = True
+
+    def __len__(self) -> int:
+        return self.index.shape[0]
+
+    def __getitem__(self, position):
+        if isinstance(position, slice):
+            return [self[i] for i in range(*position.indices(len(self)))]
+        position = int(position)
+        size = len(self)
+        if position < 0:
+            position += size
+        if not 0 <= position < size:
+            raise IndexError("ingest result position out of range")
+        if self._eager is not None:
+            eager = self._eager.get(position)
+            if eager is not None:
+                return eager
+        key = self._keys_cycle[position % len(self._keys_cycle)]
+        if not self.live[position]:
+            return EngineRecord(key=key, status=SeriesStatus.WARMING, record=None)
+        record = StreamRecord(
+            index=int(self.index[position]),
+            value=float(self.value[position]),
+            trend=float(self.trend[position]),
+            seasonal=float(self.seasonal[position]),
+            residual=float(self.residual[position]),
+            anomaly_score=float(self.anomaly_score[position]),
+            is_anomaly=bool(self.is_anomaly[position]),
+            detection_residual=float(self.detection_residual[position]),
+        )
+        return EngineRecord(key=key, status=SeriesStatus.LIVE, record=record)
+
+    def __iter__(self):
+        return iter(self.records())
+
+    def records(self) -> list:
+        """Materialize every row as an eager :class:`EngineRecord`.
+
+        Bulk-converts the arrays to Python scalars first (``ndarray.tolist``
+        yields exact Python floats, so the materialized records are
+        bit-identical to eagerly built ones) -- substantially faster than
+        per-row array indexing.  For large results the cyclic garbage
+        collector is suspended around the loop: the records are acyclic
+        (plain frozen dataclasses of scalars), but allocating tens of
+        thousands of young objects into one long-lived list otherwise
+        triggers repeated generational scans that can double the cost.
+        """
+        size = len(self)
+        if size == 0:
+            return []
+        if size >= 4096 and gc.isenabled():
+            gc.disable()
+            try:
+                return self._materialize()
+            finally:
+                gc.enable()
+        return self._materialize()
+
+    def _materialize(self) -> list:
+        size = len(self)
+        eager = self._eager
+        keys_cycle = self._keys_cycle
+        n_keys = len(keys_cycle)
+        index = self.index.tolist()
+        value = self.value.tolist()
+        trend = self.trend.tolist()
+        seasonal = self.seasonal.tolist()
+        residual = self.residual.tolist()
+        anomaly_score = self.anomaly_score.tolist()
+        is_anomaly = self.is_anomaly.tolist()
+        detection_residual = self.detection_residual.tolist()
+        live = self.live.tolist()
+        warming = SeriesStatus.WARMING
+        live_status = SeriesStatus.LIVE
+        records = []
+        append = records.append
+        for position in range(size):
+            if eager is not None:
+                record = eager.get(position)
+                if record is not None:
+                    append(record)
+                    continue
+            key = keys_cycle[position % n_keys]
+            if not live[position]:
+                append(EngineRecord(key=key, status=warming, record=None))
+                continue
+            append(
+                EngineRecord(
+                    key=key,
+                    status=live_status,
+                    record=StreamRecord(
+                        index=index[position],
+                        value=value[position],
+                        trend=trend[position],
+                        seasonal=seasonal[position],
+                        residual=residual[position],
+                        anomaly_score=anomaly_score[position],
+                        is_anomaly=is_anomaly[position],
+                        detection_residual=detection_residual[position],
+                    ),
+                )
+            )
+        return records
+
+    def __repr__(self) -> str:
+        return (
+            f"IngestResult(rows={len(self)}, live={int(self.live.sum())}, "
+            f"anomalies={int(self.is_anomaly.sum())})"
+        )
 
 
 @dataclass(frozen=True)
@@ -177,9 +436,14 @@ class _FleetGroup:
         "indices",
         "points_pending",
         "anomalies_pending",
+        "latency_window",
+        "track_latency",
+        "latency_values",
+        "latency_counts",
+        "_all_columns",
     )
 
-    def __init__(self, spec: PipelineSpec):
+    def __init__(self, spec: PipelineSpec, latency_window: int, track_latency: bool):
         self.spec = spec
         self.keys: list = []
         self.column_of: dict = {}
@@ -188,6 +452,19 @@ class _FleetGroup:
         self.indices = np.zeros(0, dtype=np.int64)
         self.points_pending = np.zeros(0, dtype=np.int64)
         self.anomalies_pending = np.zeros(0, dtype=np.int64)
+        self.latency_window = int(latency_window)
+        self.track_latency = bool(track_latency)
+        #: pending per-column latency ring (one row per column, one slot
+        #: per retained duration): a whole cohort round records its shared
+        #: per-point duration with a few array writes instead of a Python
+        #: append per key; the ring is folded into the per-series
+        #: RingBuffers only at materialization boundaries.
+        self.latency_values = (
+            np.zeros((0, self.latency_window)) if self.track_latency else None
+        )
+        self.latency_counts = np.zeros(0, dtype=np.int64)
+        #: cached arange over the group's columns (regrown on absorb)
+        self._all_columns = np.zeros(0, dtype=np.intp)
 
     @property
     def n_series(self) -> int:
@@ -196,10 +473,13 @@ class _FleetGroup:
     def absorb(self, keys: list, states: list) -> None:
         """Append a cohort of live series to the columnar arrays at once.
 
-        Batching the absorption matters: packing ``m`` new members costs
-        one concatenation instead of ``m`` array growths, so a fleet that
-        goes live in the same ingest round (the common case -- every series
-        warmed on the same schedule) is absorbed in O(fleet) total.
+        Cohort absorption is amortized O(cohort): members are packed with
+        one array write per state array into the hidden spare capacity the
+        columnar arrays carry (capacity doubling, see
+        :func:`repro.utils.amortized_append` and the solver's buffer pair),
+        so even an adversarial arrival pattern -- one late series joining a
+        large group per round -- costs O(total members), not one full-group
+        copy per cohort.
         """
         new_kernel = FleetKernel.pack(
             [state.pipeline.decomposer for state in states]
@@ -213,24 +493,38 @@ class _FleetGroup:
         else:
             self.kernel.append(new_kernel)
             self.scorer.append(new_scorer)
-        self.indices = np.concatenate(
-            [
-                self.indices,
-                np.array(
-                    [state.pipeline._index for state in states], dtype=np.int64
-                ),
-            ]
+        self.indices = amortized_append(
+            self.indices,
+            np.array([state.pipeline._index for state in states], dtype=np.int64),
         )
-        grown = len(states)
-        self.points_pending = np.concatenate(
-            [self.points_pending, np.zeros(grown, dtype=np.int64)]
-        )
-        self.anomalies_pending = np.concatenate(
-            [self.anomalies_pending, np.zeros(grown, dtype=np.int64)]
-        )
+        grown = np.zeros(len(states), dtype=np.int64)
+        self.points_pending = amortized_append(self.points_pending, grown)
+        self.anomalies_pending = amortized_append(self.anomalies_pending, grown)
+        if self.track_latency:
+            self.latency_counts = amortized_append(self.latency_counts, grown)
+            self.latency_values = amortized_append(
+                self.latency_values,
+                np.empty((len(states), self.latency_window)),
+            )
         for key in keys:
             self.column_of[key] = len(self.keys)
             self.keys.append(key)
+        self._all_columns = np.arange(len(self.keys), dtype=np.intp)
+
+    def record_latency(self, columns: np.ndarray | None, per_point: float) -> None:
+        """Record one cohort round's shared per-point duration (O(1) Python).
+
+        ``columns=None`` means the round advanced every column.
+        """
+        counts = self.latency_counts
+        if columns is None:
+            slots = counts % self.latency_window
+            self.latency_values[self._all_columns, slots] = per_point
+            counts += 1
+        else:
+            slots = counts[columns] % self.latency_window
+            self.latency_values[columns, slots] = per_point
+            counts[columns] += 1
 
     def sync_series(self, column: int, state: _SeriesState) -> None:
         """Write column ``column`` back into the series' object state."""
@@ -239,6 +533,7 @@ class _FleetGroup:
         self.scorer.write_into(column, pipeline.scorer)
         pipeline._index = int(self.indices[column])
         self.flush_counters(column, state)
+        self.flush_latency(column, state)
 
     def load_series(self, column: int, state: _SeriesState) -> None:
         """Refresh column ``column`` from the series' object state."""
@@ -253,6 +548,18 @@ class _FleetGroup:
         state.anomalies += int(self.anomalies_pending[column])
         self.points_pending[column] = 0
         self.anomalies_pending[column] = 0
+
+    def flush_latency(self, column: int, state: _SeriesState) -> None:
+        """Fold the column's pending latency ring into the series' buffer."""
+        if not self.track_latency:
+            return
+        count = int(self.latency_counts[column])
+        if count == 0:
+            return
+        take = min(count, self.latency_window)
+        slots = np.arange(count - take, count) % self.latency_window
+        state.latencies.extend(self.latency_values[column, slots])
+        self.latency_counts[column] = 0
 
 
 class MultiSeriesEngine:
@@ -492,7 +799,7 @@ class MultiSeriesEngine:
             state.anomalies += 1
         return EngineRecord(key=key, status=SeriesStatus.LIVE, record=record)
 
-    def ingest(self, batch) -> list[EngineRecord]:
+    def ingest(self, batch, *, columnar_results: bool = False):
         """Ingest a batch of observations, batching same-spec series.
 
         ``batch`` may be
@@ -502,16 +809,24 @@ class MultiSeriesEngine:
           scalar or a 1-D array of per-key observations (all arrays must
           share one length ``L``; the batch is equivalent to the
           interleaved rows ``[(key, values[t]) for t in range(L) for key
-          in batch]``), or
+          in batch]``) -- the fastest input form: it is advanced round by
+          round directly from the value grid, without building per-record
+          Python tuples or re-deriving the round structure, or
         * **parallel arrays** ``(keys, values)`` -- a sequence of keys plus
-          an equal-length NumPy array of values -- which avoids building
-          per-record Python tuples altogether.
+          an equal-length NumPy array of values -- which also avoids
+          per-record Python tuples on the way in.
 
-        Records are returned in (the equivalent) input order; multiple
-        values for one key are processed oldest first.  Live series that
-        share a :class:`~repro.specs.PipelineSpec` are advanced together
-        through the columnar fleet kernel -- one batched solver step per
-        IRLS iteration for the whole cohort -- with results identical to
+        Results come back in (the equivalent) input order; multiple values
+        for one key are processed oldest first.  By default a list of
+        :class:`EngineRecord` is returned; with ``columnar_results=True``
+        (or via :meth:`ingest_columnar`) the outcomes stay in
+        struct-of-arrays form as an :class:`IngestResult` -- parallel
+        NumPy arrays plus records materialized lazily on access -- which
+        skips the dominant per-row record construction cost on large
+        fleets.  Live series that share a
+        :class:`~repro.specs.PipelineSpec` are advanced together through
+        the columnar fleet kernel -- one batched solver step per IRLS
+        iteration for the whole cohort -- with results identical to
         processing every observation through :meth:`process`.
 
         Application is *not* transactional: a rejected observation (e.g. a
@@ -523,8 +838,9 @@ class MultiSeriesEngine:
         batch that follows the offending observation.
         """
         if isinstance(batch, dict):
-            keys, values = self._columns_from_dict(batch)
-        elif (
+            round_keys, grid = self._grid_from_dict(batch)
+            return self._ingest_grid(round_keys, grid, columnar_results)
+        if (
             isinstance(batch, tuple)
             and len(batch) == 2
             and isinstance(batch[1], np.ndarray)
@@ -546,12 +862,28 @@ class MultiSeriesEngine:
                 # Malformed rows or unconvertible values: let the sequential
                 # path raise (or not) with its per-record semantics.
                 process = self.process
-                return [process(key, value) for key, value in rows]
-        return self._ingest_keys_values(keys, values)
+                records = [process(key, value) for key, value in rows]
+                if columnar_results:
+                    return IngestResult.from_records(
+                        [record.key for record in records], records
+                    )
+                return records
+        return self._ingest_keys_values(keys, values, columnar_results)
+
+    def ingest_columnar(self, batch) -> IngestResult:
+        """Ingest a batch and keep the results columnar (arrays out).
+
+        Equivalent to ``ingest(batch, columnar_results=True)``: the
+        returned :class:`IngestResult` exposes the per-point outputs as
+        parallel NumPy arrays and materializes :class:`EngineRecord` rows
+        only on demand, which roughly halves steady-state large-fleet
+        ingest cost versus the eager record list.
+        """
+        return self.ingest(batch, columnar_results=True)
 
     @staticmethod
-    def _columns_from_dict(batch: dict) -> tuple[list, np.ndarray]:
-        """Expand ``{key: values}`` into round-major parallel key/value arrays."""
+    def _grid_from_dict(batch: dict) -> tuple[list, np.ndarray]:
+        """Validate ``{key: values}`` into a round-major ``(L, n)`` grid."""
         length = None
         columns = []
         for key, values in batch.items():
@@ -570,48 +902,151 @@ class MultiSeriesEngine:
                 )
             columns.append(values)
         if not columns:
-            return [], np.zeros(0)
-        # Interleave to round-major order ((k0, t), (k1, t), ..., (k0, t+1),
-        # ...) without materializing per-record tuples.
-        keys = list(batch) * length
-        values = np.stack(columns).T.ravel() if length else np.zeros(0)
-        return keys, values
+            return [], np.zeros((0, 0))
+        return list(batch), np.stack(columns, axis=1)
 
-    def _ingest_keys_values(
-        self, keys: list, values: np.ndarray
-    ) -> list[EngineRecord]:
-        if not keys:
-            return []
+    def _sequential_fallback(
+        self, keys: list, values, columnar_results: bool
+    ):
+        """Strictly sequential per-observation processing (exact raise order)."""
+        process = self.process
+        records = [process(key, value) for key, value in zip(keys, values)]
+        if columnar_results:
+            return IngestResult.from_records(keys, records)
+        return records
+
+    def _ingest_grid(
+        self, round_keys: list, grid: np.ndarray, columnar_results: bool
+    ):
+        """Advance a round-major ``(L, n)`` value grid, one round per row.
+
+        This is the columnar fast path: the round structure is implied by
+        the grid (every key appears exactly once per round), so the
+        per-observation occurrence bookkeeping of the generic path is
+        skipped entirely, and once every key is kernel-absorbed the
+        per-round routing collapses to a cached plan of pure array
+        operations.
+        """
+        n_rounds, n = grid.shape
+        if n_rounds * n == 0:
+            result = IngestResult(round_keys, n_rounds)
+            return result if columnar_results else []
         if not self.fleet_kernel_enabled or (
-            len(keys) < self.kernel_min_cohort and not self._absorbed
+            n < self.kernel_min_cohort and not self._absorbed
         ):
-            # Nothing is (or could become) kernel-batched at this batch
-            # size: skip the round-building machinery entirely.
-            process = self.process
-            return [
-                process(key, value) for key, value in zip(keys, values)
-            ]
-        bad = ~np.isfinite(values)
+            keys = round_keys * n_rounds
+            return self._sequential_fallback(
+                keys, grid.reshape(-1), columnar_results
+            )
+        bad = ~np.isfinite(grid)
         if bad.any():
             # NaN aimed at an already-absorbed series is a missing point the
             # kernel imputes; anything else (infinities, NaN during warmup
             # or on a scalar-path series) must raise exactly where the
             # sequential path would, so the whole batch stays sequential.
+            for row, column in zip(*np.nonzero(bad)):
+                if not (
+                    np.isnan(grid[row, column])
+                    and round_keys[column] in self._absorbed
+                ):
+                    keys = round_keys * n_rounds
+                    return self._sequential_fallback(
+                        keys, grid.reshape(-1), columnar_results
+                    )
+        result = IngestResult(round_keys, n_rounds)
+        flat = grid.reshape(-1)
+        plan = self._grid_plan(round_keys)
+        base = 0
+        for row in range(n_rounds):
+            if plan is not None:
+                row_values = grid[row]
+                for group, columns, takes, full in plan:
+                    self._advance_cohort(
+                        group,
+                        columns,
+                        takes + base,
+                        row_values[takes],
+                        full,
+                        result,
+                    )
+            else:
+                entries = [
+                    (key, base + j) for j, key in enumerate(round_keys)
+                ]
+                self._process_round(entries, flat, result)
+                # Warming keys may have gone live and been absorbed during
+                # the round; once every key is routed the remaining rounds
+                # take the planned (pure array) path.
+                plan = self._grid_plan(round_keys)
+            base += n
+        return result if columnar_results else result.records()
+
+    def _grid_plan(self, round_keys: list):
+        """Cacheable per-group routing of one full round.
+
+        Returns ``[(group, columns, takes, full), ...]`` covering every
+        key, or ``None`` when any key is off the kernel path (warming,
+        never-absorbable, or in a cohort below the kernel minimum) -- the
+        generic round machinery handles those rounds.
+        """
+        absorbed = self._absorbed
+        parts: dict[int, list] = {}
+        groups: dict[int, _FleetGroup] = {}
+        for j, key in enumerate(round_keys):
+            location = absorbed.get(key)
+            if location is None:
+                return None
+            group, column = location
+            identity = id(group)
+            groups[identity] = group
+            parts.setdefault(identity, []).append((column, j))
+        plan = []
+        for identity, members in parts.items():
+            group = groups[identity]
+            if len(members) < min(self.kernel_min_cohort, group.n_series):
+                return None
+            columns = np.array([column for column, _j in members], dtype=np.intp)
+            takes = np.array([j for _column, j in members], dtype=np.intp)
+            full = columns.size == group.kernel.n_series
+            if full:
+                # Whole-group rounds take the in-place (no gather/scatter)
+                # kernel path; results are scattered back by position, so
+                # sorting into column order is free for the caller.
+                order = np.argsort(columns)
+                columns = columns[order]
+                takes = takes[order]
+            plan.append((group, columns, takes, full))
+        return plan
+
+    def _ingest_keys_values(
+        self, keys: list, values: np.ndarray, columnar_results: bool
+    ):
+        if not keys:
+            return IngestResult([], 0) if columnar_results else []
+        if not self.fleet_kernel_enabled or (
+            len(keys) < self.kernel_min_cohort and not self._absorbed
+        ):
+            # Nothing is (or could become) kernel-batched at this batch
+            # size: skip the round-building machinery entirely.
+            return self._sequential_fallback(keys, values, columnar_results)
+        bad = ~np.isfinite(values)
+        if bad.any():
+            # Same contract as the grid path: only NaN-to-absorbed-series
+            # may proceed columnar, everything else raises sequentially.
             for position in np.flatnonzero(bad):
                 if not (
                     np.isnan(values[position])
                     and keys[position] in self._absorbed
                 ):
-                    process = self.process
-                    return [
-                        process(key, value) for key, value in zip(keys, values)
-                    ]
+                    return self._sequential_fallback(
+                        keys, values, columnar_results
+                    )
 
         # Split the batch into rounds holding at most one observation per
         # key (values for one key apply oldest first), then advance each
         # round's kernel cohorts with batched array ops and everything else
         # through the scalar path.
-        records: list = [None] * len(keys)
+        result = IngestResult(keys, 1)
         occurrence: dict = {}
         rounds: list[list] = []
         for position, key in enumerate(keys):
@@ -621,15 +1056,15 @@ class MultiSeriesEngine:
                 rounds.append([])
             rounds[seen].append((key, position))
         for round_entries in rounds:
-            self._process_round(round_entries, values, records)
-        return records
+            self._process_round(round_entries, values, result)
+        return result if columnar_results else result.records()
 
     def _process_round(
-        self, entries: list, values: np.ndarray, records: list
+        self, entries: list, values: np.ndarray, result: IngestResult
     ) -> None:
         """Process one round (unique keys) of a batched ingest."""
         # Absorb every newly eligible series first, cohort-at-a-time, so a
-        # fleet that goes live together is packed with one concatenation.
+        # fleet that goes live together is packed in one shot.
         to_absorb: dict[str, list] = {}
         for key, _position in entries:
             if key in self._absorbed or key in self._never_absorb:
@@ -650,7 +1085,9 @@ class MultiSeriesEngine:
                     # scalar path and are reconsidered on later rounds
                     # (e.g. once more series of this spec go live).
                     continue
-                group = self._groups[spec_key] = _FleetGroup(items[0][0])
+                group = self._groups[spec_key] = _FleetGroup(
+                    items[0][0], self.latency_window, self.track_latency
+                )
             group.absorb(
                 [key for _spec, key, _state in items],
                 [state for _spec, _key, state in items],
@@ -672,35 +1109,50 @@ class MultiSeriesEngine:
                 groups[identity] = group
                 parts.setdefault(identity, []).append((key, position, column))
         for identity, members in parts.items():
-            self._advance_group(groups[identity], members, values, records)
+            group = groups[identity]
+            if len(members) < min(self.kernel_min_cohort, group.n_series):
+                # A round touching only a few members of a large group is
+                # cheaper through the single-key path (which materializes
+                # and writes back just those columns) than through a
+                # gathered sub-kernel.
+                for key, position, _column in members:
+                    result._set_eager(
+                        position, self.process(key, float(values[position]))
+                    )
+                continue
+            full = len(members) == group.kernel.n_series
+            if full:
+                members = sorted(members, key=lambda member: member[2])
+            columns = np.array(
+                [column for _key, _position, column in members], dtype=np.intp
+            )
+            positions = np.array(
+                [position for _key, position, _column in members], dtype=np.intp
+            )
+            self._advance_cohort(
+                group, columns, positions, values[positions], full, result
+            )
         for key, position in scalar_entries:
-            records[position] = self.process(key, float(values[position]))
+            result._set_eager(
+                position, self.process(key, float(values[position]))
+            )
 
-    def _advance_group(
+    def _advance_cohort(
         self,
         group: _FleetGroup,
-        members: list,
-        values: np.ndarray,
-        records: list,
+        columns: np.ndarray,
+        positions: np.ndarray,
+        batch_values: np.ndarray,
+        full: bool,
+        result: IngestResult,
     ) -> None:
-        """Advance one kernel cohort by one observation per member."""
-        if len(members) < min(self.kernel_min_cohort, group.n_series):
-            # A round touching only a few members of a large group is
-            # cheaper through the single-key path (which materializes and
-            # writes back just those columns) than through a gathered
-            # sub-kernel.
-            for key, position, _column in members:
-                records[position] = self.process(key, float(values[position]))
-            return
-        full = len(members) == group.kernel.n_series
-        if full:
-            # A whole-group round takes the in-place (no gather/scatter)
-            # kernel path regardless of the caller's key order: records are
-            # scattered back by position, so sorting members into column
-            # order is free for the caller and keeps the fast path.
-            members = sorted(members, key=lambda member: member[2])
-        columns = np.array([column for _key, _position, column in members])
-        batch_values = values[[position for _key, position, _column in members]]
+        """Advance one kernel cohort and scatter the outputs columnar.
+
+        The per-member bookkeeping -- record indices, pending point and
+        anomaly counters, latency accounting -- is all batched array
+        operations; no per-row Python objects are built here (records are
+        materialized lazily by the :class:`IngestResult`).
+        """
         if self.track_latency:
             start = time.perf_counter()
         if full:
@@ -713,29 +1165,26 @@ class MultiSeriesEngine:
             group.scorer.assign(columns, scorer)
         if self.track_latency:
             per_point = (time.perf_counter() - start) / columns.size
-        indices = group.indices[columns]
-        for j, (key, position, _column) in enumerate(members):
-            record = StreamRecord(
-                index=int(indices[j]),
-                value=float(out.value[j]),
-                trend=float(out.trend[j]),
-                seasonal=float(out.seasonal[j]),
-                residual=float(out.residual[j]),
-                anomaly_score=float(scores[j]),
-                is_anomaly=bool(flags[j]),
-                detection_residual=float(out.detection_residual[j]),
-            )
-            records[position] = EngineRecord(
-                key=key, status=SeriesStatus.LIVE, record=record
-            )
-        group.indices[columns] += 1
-        group.points_pending[columns] += 1
-        flagged = columns[flags]
-        if flagged.size:
-            group.anomalies_pending[flagged] += 1
-        if self.track_latency:
-            for key, _position, _column in members:
-                self._series[key].latencies.append(per_point)
+            group.record_latency(None if full else columns, per_point)
+        result.index[positions] = group.indices if full else group.indices[columns]
+        result.value[positions] = out.value
+        result.trend[positions] = out.trend
+        result.seasonal[positions] = out.seasonal
+        result.residual[positions] = out.residual
+        result.anomaly_score[positions] = scores
+        result.is_anomaly[positions] = flags
+        result.detection_residual[positions] = out.detection_residual
+        result.live[positions] = True
+        if full:
+            group.indices += 1
+            group.points_pending += 1
+            group.anomalies_pending[flags] += 1
+        else:
+            group.indices[columns] += 1
+            group.points_pending[columns] += 1
+            flagged = columns[flags]
+            if flagged.size:
+                group.anomalies_pending[flagged] += 1
 
     def _absorption_spec(self, key: Hashable, state: _SeriesState):
         """Spec to group ``key`` under, or None (not yet / never packable)."""
@@ -804,6 +1253,7 @@ class MultiSeriesEngine:
         if location is not None:
             group, column = location
             group.flush_counters(column, state)
+            group.flush_latency(column, state)
         latencies = state.latencies.to_array()
         return SeriesStats(
             key=key,

@@ -27,7 +27,7 @@ from repro.utils import as_float_array, check_positive_int
 __all__ = ["StreamRecord", "StreamingPipeline"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StreamRecord:
     """Everything the pipeline derives from one observation.
 
@@ -36,6 +36,12 @@ class StreamRecord:
     ``detection_residual`` is the residual the anomaly scorer consumed --
     the pre-correction value when the decomposer exposes one, otherwise
     identical to ``residual``.
+
+    Slotted (no per-instance ``__dict__``): records are built once per
+    observation per series, so their construction cost and memory footprint
+    sit directly on the engine's hot path -- and the columnar
+    :class:`~repro.streaming.engine.IngestResult` materializes them lazily
+    for exactly that reason.
     """
 
     index: int

@@ -1,5 +1,6 @@
 """Small shared utilities used across the OneShotSTL reproduction."""
 
+from repro.utils.growable import amortized_append
 from repro.utils.validation import (
     as_float_array,
     check_period,
@@ -10,6 +11,7 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "amortized_append",
     "as_float_array",
     "check_period",
     "check_positive",
