@@ -18,7 +18,13 @@ The multi-series engine exists so that the O(1) update can be ran on
   steady state, and
 * a group-growth micro-benchmark absorbing 500 series into a fleet kernel
   one at a time, whose two halves are compared to show the
-  capacity-doubling absorption path is linear rather than quadratic.
+  capacity-doubling absorption path is linear rather than quadratic,
+* the durability rows on the largest fleet: row ingest with the
+  write-ahead log on vs off (the WAL-on form must stay within
+  ``WAL_INGEST_FLOOR`` of WAL-off throughput), and the latency of a full
+  checkpoint (every cohort dirty) vs an incremental one (a single dirty
+  cohort), whose ratio must reach ``CHECKPOINT_SPEEDUP_FLOOR`` -- the
+  property that makes frequent checkpoints of a mostly-idle fleet cheap.
 
 Reported throughput counts *steady-state online* points only: the
 per-series batch initialization phase runs untimed, and a short online
@@ -65,6 +71,16 @@ INPUT_PATH_TOLERANCE = 0.10
 #: one-at-a-time absorption halves ratio above this reads as quadratic
 #: (a truly quadratic path measures ~4); shared with check_perf_regression.
 ABSORB_RATIO_CEILING = 3.0
+
+#: minimum WAL-on / WAL-off ingest throughput ratio: journaling every
+#: batch must cost at most half the throughput; shared with
+#: check_perf_regression so the two CI steps enforce one policy.
+WAL_INGEST_FLOOR = 0.5
+
+#: minimum full-checkpoint / incremental-checkpoint latency ratio on a
+#: 1000-series fleet with one dirty cohort; shared with
+#: check_perf_regression.
+CHECKPOINT_SPEEDUP_FLOOR = 5.0
 
 
 def _series_values(length: int, seed: int) -> np.ndarray:
@@ -245,6 +261,127 @@ def _bench_absorption(total: int = 500) -> dict:
     }
 
 
+def _bench_durability(n_series: int, online_points: int) -> list[dict]:
+    """WAL ingest overhead and full vs incremental checkpoint latency.
+
+    One warmed engine serves all four measurements: row ingest without a
+    store, the first checkpoint after :meth:`attach_store` (every cohort
+    dirty -- the full-snapshot cost), row ingest with every batch
+    journaled to the WAL, and an incremental checkpoint after touching
+    only the first durable cohort of the fleet.
+    """
+    import shutil
+    import tempfile
+
+    from repro.durability import DirectoryCheckpointStore
+
+    # Each measurement consumes its own contiguous window of the stream:
+    # re-feeding one window twice would land out of phase and trigger the
+    # (expensive, rare-by-design) shift-search fallback on every series,
+    # which would measure the fallback, not the WAL.  The WAL-on/WAL-off
+    # comparison is repeated with alternated ordering (off-on, then
+    # on-off) so slow-drift effects -- allocator state, cache warmth --
+    # cancel instead of biasing one side.
+    data = _fleet_data(n_series, 5 * online_points + 8)
+    online_start = INITIALIZATION + ONLINE_WARMUP
+    position = online_start
+
+    def take(count, keys=None):
+        nonlocal position
+        batches = [
+            [
+                (key, data[key][position + offset])
+                for key in (data if keys is None else keys)
+            ]
+            for offset in range(count)
+        ]
+        position += count
+        return batches
+
+    engine = _warmed_engine(data)
+    for batch in take(4):  # settle: first post-warmup rounds run untimed
+        engine.ingest(batch)
+
+    roots: list[Path] = []
+
+    def fresh_store() -> DirectoryCheckpointStore:
+        root = Path(tempfile.mkdtemp(prefix="bench-durability-"))
+        roots.append(root)
+        return DirectoryCheckpointStore(root)
+
+    wal_off = wal_on = 0.0
+    try:
+        for order in (("off", "on"), ("on", "off")):
+            for mode in order:
+                if mode == "on":
+                    engine.attach_store(fresh_store(), checkpoint=False)
+                start = time.perf_counter()
+                for batch in take(online_points):
+                    engine.ingest(batch)
+                elapsed = time.perf_counter() - start
+                if mode == "on":
+                    wal_on += elapsed
+                    engine.close(checkpoint=False)
+                else:
+                    wal_off += elapsed
+
+        engine.attach_store(fresh_store(), checkpoint=False)
+        start = time.perf_counter()
+        full = engine.checkpoint()
+        full_seconds = time.perf_counter() - start
+        assert full.series_written == n_series
+
+        dirty_keys = list(data)[: engine.checkpoint_cohort_size]
+        for batch in take(4, keys=dirty_keys):
+            engine.ingest(batch)
+        start = time.perf_counter()
+        incremental = engine.checkpoint()
+        incremental_seconds = time.perf_counter() - start
+        assert incremental.cohorts_written == min(
+            1, incremental.cohorts_total
+        ), "only the touched cohort should have been rewritten"
+        engine.close(checkpoint=False)
+    finally:
+        for root in roots:
+            shutil.rmtree(root, ignore_errors=True)
+
+    total = 2 * n_series * online_points
+    return [
+        {
+            "config": "engine ingest (WAL off)",
+            "series": n_series,
+            "online_points": total,
+            "points_per_sec": total / wal_off,
+            "us_per_point": wal_off / total * 1e6,
+        },
+        {
+            "config": "engine ingest (WAL on)",
+            "series": n_series,
+            "online_points": total,
+            "points_per_sec": total / wal_on,
+            "us_per_point": wal_on / total * 1e6,
+            "wal_ingest_ratio": wal_off / wal_on,
+        },
+        {
+            "config": "checkpoint (full fleet)",
+            "series": n_series,
+            "online_points": 0,
+            "points_per_sec": 0.0,
+            "us_per_point": full_seconds / n_series * 1e6,
+            "checkpoint_seconds": full_seconds,
+        },
+        {
+            "config": "checkpoint (1 dirty cohort)",
+            "series": n_series,
+            "online_points": 0,
+            "points_per_sec": 0.0,
+            "us_per_point": incremental_seconds / n_series * 1e6,
+            "checkpoint_seconds": incremental_seconds,
+            "checkpoint_incremental_speedup": full_seconds / incremental_seconds,
+        },
+    ]
+
+
 def _collect(smoke: bool = False) -> list[dict]:
     fleet_sizes, points_per_series = _workload(smoke)
     largest = max(fleet_sizes)
@@ -258,6 +395,7 @@ def _collect(smoke: bool = False) -> list[dict]:
             )
         )
     rows.append(_bench_absorption(total=120 if smoke else 500))
+    rows.extend(_bench_durability(largest, points_per_series[largest]))
     return rows
 
 
@@ -315,6 +453,43 @@ def _check_columnar_paths(rows: list[dict], largest: int) -> list[str]:
     return failures
 
 
+def _check_durability(rows: list[dict]) -> list[str]:
+    """Self-checks of the durability rows (same shape as the columnar ones).
+
+    * journaling every ingested batch to the WAL must keep at least
+      ``WAL_INGEST_FLOOR`` of the WAL-off throughput;
+    * an incremental checkpoint touching one dirty cohort of the large
+      fleet must be at least ``CHECKPOINT_SPEEDUP_FLOOR`` times faster
+      than re-serializing the whole fleet.
+    """
+    wal_row = next(row for row in rows if "wal_ingest_ratio" in row)
+    speedup_row = next(
+        row for row in rows if "checkpoint_incremental_speedup" in row
+    )
+    checks = [
+        (
+            f"WAL-on ingest >= {WAL_INGEST_FLOOR:.0%} of WAL-off "
+            f"(ratio {wal_row['wal_ingest_ratio']:.2f})",
+            wal_row["wal_ingest_ratio"] >= WAL_INGEST_FLOOR,
+        ),
+        (
+            "incremental checkpoint >= "
+            f"{CHECKPOINT_SPEEDUP_FLOOR:.0f}x faster than full "
+            f"(speedup {speedup_row['checkpoint_incremental_speedup']:.1f})",
+            speedup_row["checkpoint_incremental_speedup"]
+            >= CHECKPOINT_SPEEDUP_FLOOR,
+        ),
+    ]
+    lines = []
+    failures = []
+    for label, passed in checks:
+        lines.append(f"[{'ok' if passed else 'FAIL'}] {label}")
+        if not passed:
+            failures.append(label)
+    print("\n".join(lines))
+    return failures
+
+
 def _emit(rows: list[dict], smoke: bool) -> None:
     """Write the human-readable table and the machine-readable JSON artifact.
 
@@ -355,6 +530,24 @@ def _emit(rows: list[dict], smoke: bool) -> None:
             for row in rows
             if "absorb_halves_ratio" in row
         ),
+        wal_ingest_ratio=next(
+            row["wal_ingest_ratio"] for row in rows if "wal_ingest_ratio" in row
+        ),
+        checkpoint_full_seconds=next(
+            row["checkpoint_seconds"]
+            for row in rows
+            if row["config"] == "checkpoint (full fleet)"
+        ),
+        checkpoint_incremental_seconds=next(
+            row["checkpoint_seconds"]
+            for row in rows
+            if row["config"] == "checkpoint (1 dirty cohort)"
+        ),
+        checkpoint_incremental_speedup=next(
+            row["checkpoint_incremental_speedup"]
+            for row in rows
+            if "checkpoint_incremental_speedup" in row
+        ),
         raw_kernel_points_per_sec=next(
             row["points_per_sec"] for row in rows if row["config"] == "raw OneShotSTL"
         ),
@@ -377,6 +570,8 @@ def test_engine_throughput(run_once):
     # The columnar input/result paths must not regress behind the row path
     # (and absorption must stay linear) -- see _check_columnar_paths.
     assert not _check_columnar_paths(rows, largest)
+    # WAL overhead and incremental-checkpoint speedup -- see _check_durability.
+    assert not _check_durability(rows)
 
 
 if __name__ == "__main__":
@@ -386,5 +581,6 @@ if __name__ == "__main__":
     failures = _check_columnar_paths(
         rows, max(row["series"] for row in rows if row["config"] == "engine ingest")
     )
+    failures.extend(_check_durability(rows))
     if failures:
-        sys.exit(f"columnar-path checks failed: {failures}")
+        sys.exit(f"columnar-path/durability checks failed: {failures}")

@@ -14,8 +14,12 @@ large fleet -- the property this gate protects -- while machine speed
 cancels out.  A ratio drop of more than ``--tolerance`` (default 0.30,
 i.e. 30%) vs the baseline fails the gate.  The gate additionally checks,
 within the current run alone, that columnar *input* did not fall behind
-row input (a historical regression) and that one-at-a-time kernel
-absorption stayed linear::
+row input (a historical regression), that one-at-a-time kernel absorption
+stayed linear, that journaling ingested batches to the write-ahead log
+keeps at least half of the WAL-off throughput, and that an incremental
+checkpoint of the 1000-series fleet with one dirty cohort stays at least
+5x faster than a full snapshot (thresholds are imported from the bench
+module so the two CI steps enforce one policy)::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
     PYTHONPATH=src python benchmarks/check_perf_regression.py
@@ -73,7 +77,9 @@ def current_run_checks(current: dict, source: str) -> list[str]:
     sys.path.insert(0, str(Path(__file__).parent))
     from bench_engine_throughput import (
         ABSORB_RATIO_CEILING,
+        CHECKPOINT_SPEEDUP_FLOOR,
         INPUT_PATH_TOLERANCE,
+        WAL_INGEST_FLOOR,
     )
 
     failures = []
@@ -92,6 +98,26 @@ def current_run_checks(current: dict, source: str) -> list[str]:
         failures.append(
             f"one-at-a-time absorption looks quadratic "
             f"(halves ratio {absorb:.2f} >= {ABSORB_RATIO_CEILING})"
+        )
+    try:
+        wal_ratio = current["wal_ingest_ratio"]
+        speedup = current["checkpoint_incremental_speedup"]
+    except KeyError as error:
+        raise SystemExit(
+            f"{source}: missing {error.args[0]!r}; regenerate with "
+            "bench_engine_throughput.py (the workload includes the "
+            "durability rows)"
+        )
+    if wal_ratio < WAL_INGEST_FLOOR:
+        failures.append(
+            f"WAL-on ingest fell below {WAL_INGEST_FLOOR:.0%} of WAL-off "
+            f"throughput (ratio {wal_ratio:.2f})"
+        )
+    if speedup < CHECKPOINT_SPEEDUP_FLOOR:
+        failures.append(
+            f"incremental checkpoint is only {speedup:.1f}x faster than a "
+            f"full snapshot (required: {CHECKPOINT_SPEEDUP_FLOOR:.0f}x on "
+            f"the {GATED_FLEET}-series fleet with one dirty cohort)"
         )
     return failures
 

@@ -26,8 +26,10 @@ The most common entry points are re-exported here:
 
 Subpackages: ``core``, ``decomposition``, ``anomaly``, ``forecasting``,
 ``metrics``, ``datasets``, ``periodicity``, ``solvers``, ``neural``,
-``streaming``, ``utils``, plus the flat ``registry`` and ``specs``
-modules.  See README.md and DESIGN.md for the full map.
+``streaming``, ``durability`` (checkpoint stores, write-ahead log and
+crash recovery behind ``MultiSeriesEngine.open``), ``utils``, plus the
+flat ``registry`` and ``specs`` modules.  See README.md and DESIGN.md for
+the full map.
 """
 
 from repro.core import JointSTL, ModifiedJointSTL, NSigma, OneShotSTL, select_lambda

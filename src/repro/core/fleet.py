@@ -134,6 +134,21 @@ class ColumnarNSigma:
         scorer._mean = float(self.mean[index])
         scorer._m2 = float(self.m2[index])
 
+    def write_many(self, columns: np.ndarray, scorers: Sequence[NSigma]) -> None:
+        """Overwrite ``scorers[i]`` with member ``columns[i]``, for all ``i``.
+
+        One gather + bulk ``tolist`` per state array instead of three
+        per-member array indexings; values are identical to repeated
+        :meth:`write_into` calls.
+        """
+        counts = self.count[columns].tolist()
+        means = self.mean[columns].tolist()
+        m2s = self.m2[columns].tolist()
+        for position, scorer in enumerate(scorers):
+            scorer._count = counts[position]
+            scorer._mean = means[position]
+            scorer._m2 = m2s[position]
+
     def load(self, index: int, scorer: NSigma) -> None:
         """Overwrite member ``index`` with a scalar scorer's state."""
         self.count[index] = scorer._count
@@ -393,6 +408,52 @@ class FleetKernel:
             state.before_previous_trend = float(
                 batched.before_previous_trend[index]
             )
+
+    def write_members(
+        self, columns: np.ndarray, models: Sequence[OneShotSTL]
+    ) -> None:
+        """Overwrite ``models[i]`` with member ``columns[i]``, for all ``i``.
+
+        The batched form of :meth:`write_into`: every per-series state
+        array is gathered once and bulk-converted (``ndarray.tolist()``
+        yields exact Python scalars), and the per-iteration solvers come
+        out of :meth:`BatchedIncrementalLDLT.extract_many`.  This is the
+        cohort-granular state export the durable checkpoint layer runs on:
+        writing one dirty cohort of a large fleet touches only that
+        cohort's columns, never the whole kernel.  Values are identical to
+        repeated :meth:`write_into` calls.
+        """
+        columns = np.asarray(columns, dtype=np.intp)
+        seasonal = self.seasonal_buffer[columns]
+        global_index = self.global_index[columns].tolist()
+        points_processed = self.points_processed[columns].tolist()
+        last_trend = self.last_trend[columns].tolist()
+        last_detection = self.last_detection_residual[columns].tolist()
+        last_shift = self.last_applied_shift[columns].tolist()
+        per_iteration = [
+            (
+                batched.solver.extract_many(columns),
+                batched.previous_trend[columns].tolist(),
+                batched.before_previous_trend[columns].tolist(),
+            )
+            for batched in self.iteration_states
+        ]
+        self.monitor.write_many(
+            columns, [model._residual_monitor for model in models]
+        )
+        for position, model in enumerate(models):
+            model._seasonal_buffer[:] = seasonal[position]
+            model._global_index = global_index[position]
+            model._points_processed = points_processed[position]
+            model._last_trend = last_trend[position]
+            model._last_detection_residual = last_detection[position]
+            model._last_applied_shift = last_shift[position]
+            for state, (solvers, previous, before) in zip(
+                model._iterations_state, per_iteration
+            ):
+                state.solver = solvers[position]
+                state.previous_trend = previous[position]
+                state.before_previous_trend = before[position]
 
     def load(self, index: int, model: OneShotSTL) -> None:
         """Overwrite member ``index`` with a scalar model's state."""

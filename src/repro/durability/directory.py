@@ -1,0 +1,316 @@
+"""Directory-backed checkpoint store: manifest + segments + WAL files.
+
+Layout under the root directory::
+
+    MANIFEST.json            -- JSON manifest (the commit point)
+    segments/seg-*.pkl       -- per-cohort state blobs
+    wal/wal-*.log            -- write-ahead-log segments
+
+Durability model
+----------------
+* **Manifest and segments** are written with tmp-file + ``fsync`` +
+  ``os.replace`` + directory fsync, so each file is atomically either its
+  old or its new content after a crash.  The manifest rename is the commit
+  point of a checkpoint: segments referenced only by an un-renamed
+  manifest are garbage, never half-adopted state.
+* **WAL appends** are length- and CRC-framed.  Reading stops at the first
+  incomplete or checksum-failing frame, so a crash mid-append costs at
+  most the in-flight record and can never corrupt recovery.  Appends are
+  flushed to the OS on every record (surviving a process crash); pass
+  ``wal_sync=True`` to also ``fsync`` per append and survive host power
+  loss at a substantial throughput cost.
+
+Fault injection
+---------------
+``fault_hook`` (``None`` by default) is called with a symbolic kill-point
+name at every interesting moment -- ``wal.append.before/torn/after``,
+``segment.write.before/tmp/after``, ``manifest.swap.before/tmp/after``,
+``delete.before`` -- and may raise to simulate a crash at exactly that
+window.  The durability oracle tests drive recovery through every one of
+these points; the hook costs one attribute load per operation in
+production.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator
+
+from repro.durability.errors import CorruptCheckpointError
+from repro.durability.store import (
+    CheckpointStore,
+    atomic_write_bytes,
+    fsync_directory,
+)
+
+__all__ = ["DirectoryCheckpointStore"]
+
+#: WAL frame header: payload length + CRC32 of the payload
+_FRAME_HEADER = struct.Struct("<II")
+
+_MANIFEST_FILE = "MANIFEST.json"
+_SEGMENT_DIRECTORY = "segments"
+_WAL_DIRECTORY = "wal"
+
+
+class DirectoryCheckpointStore(CheckpointStore):
+    """A :class:`CheckpointStore` over one local directory.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the session (created if missing, parents too).
+        Accepts any :class:`os.PathLike`.
+    wal_sync:
+        ``False`` (default): WAL appends are flushed to the OS page cache
+        per record -- they survive a killed process, which is the failure
+        mode the recovery oracle pins down.  ``True``: additionally
+        ``fsync`` every append, trading throughput for power-loss safety.
+    """
+
+    def __init__(self, root, wal_sync: bool = False):
+        self.root = Path(os.fspath(root))
+        self.wal_sync = bool(wal_sync)
+        self._segments = self.root / _SEGMENT_DIRECTORY
+        self._wals = self.root / _WAL_DIRECTORY
+        self._wals.mkdir(parents=True, exist_ok=True)
+        self._segments.mkdir(parents=True, exist_ok=True)
+        # A crash between an atomic write's fsync and its rename leaves a
+        # *.tmp file that nothing references (segment/WAL names embed the
+        # generation, so the same tmp name never gets rewritten); sweep
+        # them on open so crashed checkpoints cannot leak disk forever.
+        # Only the store's own artifact names are touched -- the root may
+        # be a pre-existing directory holding unrelated files -- and
+        # single-process ownership means nothing can be mid-write here.
+        sweeps = [
+            (self.root, _MANIFEST_FILE + ".tmp"),
+            (self._segments, "*.tmp"),
+            (self._wals, "*.tmp"),
+        ]
+        for directory, pattern in sweeps:
+            for leftover in directory.glob(pattern):
+                try:
+                    leftover.unlink()
+                except OSError:
+                    pass
+        self._wal_handle = None
+        self._wal_open_name: str | None = None
+        #: byte offset of the last complete frame in the open WAL segment,
+        #: and whether a failed append may have left torn bytes after it
+        self._wal_good_offset = 0
+        self._wal_torn = False
+        #: test-only kill-point hook: ``hook(point_name)`` may raise to
+        #: simulate a crash at that exact window
+        self.fault_hook = None
+
+    def _fault(self, point: str) -> None:
+        hook = self.fault_hook
+        if hook is not None:
+            hook(point)
+
+    def describe(self) -> str:
+        return str(self.root)
+
+    # ------------------------------------------------------------- manifest
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / _MANIFEST_FILE
+
+    def read_manifest(self) -> dict | None:
+        try:
+            text = self.manifest_path.read_text()
+        except FileNotFoundError:
+            return None
+        try:
+            return json.loads(text)
+        except ValueError as error:
+            raise CorruptCheckpointError(
+                f"{self.manifest_path}: manifest is not valid JSON ({error}); "
+                "expected a MANIFEST.json written by engine.checkpoint()"
+            ) from error
+
+    def write_manifest(self, manifest: dict) -> None:
+        self._fault("manifest.swap.before")
+        atomic_write_bytes(
+            self.manifest_path,
+            json.dumps(manifest, indent=2, sort_keys=True).encode(),
+            pre_replace_hook=lambda: self._fault("manifest.swap.tmp"),
+        )
+        self._fault("manifest.swap.after")
+
+    # ------------------------------------------------------------- segments
+
+    def _segment_path(self, name: str) -> Path:
+        path = self._segments / name
+        if path.parent != self._segments:
+            raise ValueError(f"segment name {name!r} must be a bare file name")
+        return path
+
+    def write_segment(self, name: str, payload: bytes) -> None:
+        self._fault("segment.write.before")
+        atomic_write_bytes(
+            self._segment_path(name),
+            payload,
+            pre_replace_hook=lambda: self._fault("segment.write.tmp"),
+        )
+        self._fault("segment.write.after")
+
+    def read_segment(self, name: str) -> bytes:
+        path = self._segment_path(name)
+        try:
+            return path.read_bytes()
+        except FileNotFoundError:
+            raise CorruptCheckpointError(
+                f"{path}: cohort segment named by the manifest is missing; "
+                "the store has been tampered with or partially copied"
+            ) from None
+
+    def delete_segment(self, name: str) -> None:
+        self._fault("delete.before")
+        try:
+            self._segment_path(name).unlink()
+        except FileNotFoundError:
+            pass
+
+    def list_segments(self) -> list[str]:
+        return sorted(
+            entry.name
+            for entry in self._segments.iterdir()
+            if entry.is_file() and not entry.name.endswith(".tmp")
+        )
+
+    # ------------------------------------------------------------------ WAL
+
+    def _wal_path(self, name: str) -> Path:
+        path = self._wals / name
+        if path.parent != self._wals:
+            raise ValueError(f"WAL name {name!r} must be a bare file name")
+        return path
+
+    @staticmethod
+    def _read_frames(handle):
+        """Yield ``(payload, end_offset)`` for every complete frame.
+
+        Streams one frame at a time (a long WAL is never loaded whole),
+        stopping at the first incomplete or checksum-failing frame.
+        """
+        header_size = _FRAME_HEADER.size
+        offset = 0
+        while True:
+            header = handle.read(header_size)
+            if len(header) < header_size:
+                return
+            length, checksum = _FRAME_HEADER.unpack(header)
+            payload = handle.read(length)
+            if len(payload) < length or zlib.crc32(payload) != checksum:
+                return
+            offset += header_size + length
+            yield payload, offset
+
+    def wal_start(self, name: str) -> None:
+        self.close_wal()
+        path = self._wal_path(name)
+        # Drop a torn tail left by a crash mid-append *before* appending:
+        # frames written after torn bytes would sit beyond the readable
+        # prefix and be silently lost on the next recovery.
+        keep = 0
+        try:
+            with open(path, "rb") as handle:
+                for _payload, keep in self._read_frames(handle):
+                    pass
+                handle.seek(0, os.SEEK_END)
+                total = handle.tell()
+            if keep < total:
+                with open(path, "r+b") as handle:
+                    handle.truncate(keep)
+        except FileNotFoundError:
+            pass
+        self._wal_handle = open(path, "ab")
+        self._wal_open_name = name
+        self._wal_good_offset = keep
+        self._wal_torn = False
+
+    def wal_append(self, record: bytes) -> None:
+        if self._wal_handle is None:
+            raise RuntimeError(
+                "no WAL segment is open for appending; call wal_start() first"
+            )
+        if self._wal_torn:
+            # A previous append failed mid-frame (I/O error, simulated
+            # crash survived by the caller): drop the torn bytes before
+            # writing anything new, or every later frame would sit beyond
+            # the readable prefix and be silently lost at recovery.
+            name = self._wal_open_name
+            self._wal_handle.close()
+            with open(self._wal_path(name), "r+b") as handle:
+                handle.truncate(self._wal_good_offset)
+            self._wal_handle = open(self._wal_path(name), "ab")
+            self._wal_torn = False
+        frame = _FRAME_HEADER.pack(len(record), zlib.crc32(record)) + record
+        self._fault("wal.append.before")
+        try:
+            self._fault("wal.append.torn")
+        except BaseException:
+            # Simulated crash mid-write: persist a torn half-frame exactly
+            # like a real kill between write() and completion would.
+            self._wal_torn = True
+            self._wal_handle.write(frame[: max(1, len(frame) // 2)])
+            self._wal_handle.flush()
+            raise
+        try:
+            self._wal_handle.write(frame)
+            self._wal_handle.flush()
+            if self.wal_sync:
+                os.fsync(self._wal_handle.fileno())
+        except BaseException:
+            # write()/flush() may have persisted part of the frame.
+            self._wal_torn = True
+            raise
+        self._wal_good_offset += len(frame)
+        self._fault("wal.append.after")
+
+    def wal_records(self, name: str) -> Iterator[bytes]:
+        try:
+            handle = open(self._wal_path(name), "rb")
+        except FileNotFoundError:
+            return
+        with handle:
+            # A torn tail (incomplete frame or failed checksum) ends the
+            # stream silently: the in-flight record was lost to the crash.
+            for payload, _offset in self._read_frames(handle):
+                yield payload
+
+    def list_wals(self) -> list[str]:
+        return sorted(
+            entry.name
+            for entry in self._wals.iterdir()
+            if entry.is_file() and not entry.name.endswith(".tmp")
+        )
+
+    def wal_delete(self, name: str) -> None:
+        if name == self._wal_open_name:
+            raise ValueError(f"refusing to delete the open WAL segment {name!r}")
+        self._fault("delete.before")
+        try:
+            self._wal_path(name).unlink()
+        except FileNotFoundError:
+            pass
+
+    def close_wal(self) -> None:
+        """Close the open WAL segment handle (if any)."""
+        if self._wal_handle is not None:
+            try:
+                self._wal_handle.close()
+            finally:
+                self._wal_handle = None
+                self._wal_open_name = None
+                self._wal_good_offset = 0
+                self._wal_torn = False
+
+    def close(self) -> None:
+        self.close_wal()

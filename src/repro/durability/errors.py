@@ -1,0 +1,56 @@
+"""Checkpoint-store error types.
+
+All durability errors subclass :class:`ValueError` so existing callers
+that guard ``save``/``load`` with ``except ValueError`` keep working, but
+the finer-grained classes let new code distinguish "this file is from a
+different format era" (:class:`CheckpointVersionError` -- possibly fixable
+by migrating or upgrading) from "this file is damaged"
+(:class:`CorruptCheckpointError` -- fall back to an older generation or a
+backup).
+
+Every message names the file (or store) involved, what was found and what
+was expected: a checkpoint error usually surfaces on an operator's console
+during an incident, far from the code that wrote the file.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointVersionError",
+    "CorruptCheckpointError",
+]
+
+
+class CheckpointError(ValueError):
+    """Base class for checkpoint-store failures (a :class:`ValueError`)."""
+
+
+class CorruptCheckpointError(CheckpointError):
+    """A checkpoint artifact exists but cannot be decoded.
+
+    Raised for unreadable pickles, invalid manifest JSON, malformed
+    sections and checksum mismatches.  The message always names the
+    offending file and what was found there.
+    """
+
+
+class CheckpointVersionError(CheckpointError):
+    """A checkpoint artifact comes from an unsupported format version.
+
+    Carries the offending ``source`` (file or store), the ``found``
+    version and the ``expected`` version so tooling can decide whether a
+    migration applies.
+    """
+
+    def __init__(self, source, found, expected, detail: str = ""):
+        self.source = str(source)
+        self.found = found
+        self.expected = expected
+        message = (
+            f"{self.source}: checkpoint format_version {found!r} is not "
+            f"supported by this build (expected {expected!r})"
+        )
+        if detail:
+            message = f"{message}; {detail}"
+        super().__init__(message)

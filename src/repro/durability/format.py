@@ -1,0 +1,227 @@
+"""On-disk checkpoint format: versioning, manifest schema, record codecs.
+
+One format version covers every durable artifact the engine writes:
+
+* the **single-file snapshot** (``MultiSeriesEngine.save``): a pickle of
+  ``{format_version, engine_spec, series, generation}``;
+* the **store manifest** (``MANIFEST.json`` of a directory store): JSON of
+  ``{format_version, generation, engine_spec, cohorts, wal}`` -- the root
+  of a durable session, naming the per-cohort segment files and the WAL
+  segment that together reconstruct the engine;
+* **cohort segments**: a pickle of ``{key: per-series state}`` for one
+  cohort of series;
+* **WAL records**: a pickle of one ingested batch in columnar form,
+  appended *before* the engine advances its state.
+
+Version history
+---------------
+1
+    PR 2's single-file snapshot: ``{format_version, engine_spec, series}``.
+2
+    Adds the durable-session artifacts (manifest / segments / WAL) and a
+    ``generation`` lineage counter to the single-file snapshot.  Version-1
+    snapshots are migrated on read (:func:`migrate_snapshot_payload`):
+    the per-series state is unchanged, so migration only stamps the new
+    fields.
+
+The codecs here are pure data-plumbing -- they know nothing about the
+engine -- so the streaming layer can evolve independently of the bytes on
+disk, and a future sharding router can read manifests without importing
+the engine at all.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.durability.errors import CheckpointVersionError, CorruptCheckpointError
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "MIGRATABLE_FORMAT_VERSIONS",
+    "CheckpointSummary",
+    "build_manifest",
+    "decode_segment",
+    "decode_wal_record",
+    "encode_segment",
+    "encode_wal_record",
+    "migrate_snapshot_payload",
+    "segment_name",
+    "validate_manifest",
+    "wal_name",
+]
+
+#: version stamp written into (and required from) every durable artifact
+CHECKPOINT_FORMAT_VERSION = 2
+
+#: older single-file snapshot versions that migrate transparently on read
+MIGRATABLE_FORMAT_VERSIONS = (1,)
+
+#: manifest keys required by :func:`validate_manifest`
+_MANIFEST_KEYS = ("format_version", "generation", "engine_spec", "cohorts", "wal")
+
+
+@dataclass(frozen=True)
+class CheckpointSummary:
+    """What one ``engine.checkpoint()`` call actually wrote.
+
+    ``cohorts_written``/``series_written`` cover only *dirty* cohorts --
+    on a mostly-idle fleet they are a small fraction of
+    ``cohorts_total``/``series_total``, which is the whole point of
+    incremental checkpoints.
+    """
+
+    generation: int
+    cohorts_total: int
+    cohorts_written: int
+    series_total: int
+    series_written: int
+
+
+def segment_name(generation: int, cohort_id: int) -> str:
+    """Canonical file name of one cohort's segment at one generation."""
+    return f"seg-{generation:08d}-{cohort_id:06d}.pkl"
+
+
+def wal_name(generation: int) -> str:
+    """Canonical file name of the WAL segment following ``generation``."""
+    return f"wal-{generation:08d}.log"
+
+
+# ---------------------------------------------------------------- snapshots
+
+
+def migrate_snapshot_payload(payload: Any, source) -> dict:
+    """Validate a single-file snapshot payload, migrating old versions.
+
+    Returns a payload at :data:`CHECKPOINT_FORMAT_VERSION`.  Raises
+    :class:`CorruptCheckpointError` when the payload is not a snapshot at
+    all, and :class:`CheckpointVersionError` when it comes from a version
+    this build neither speaks nor migrates -- both naming ``source``.
+    """
+    if not isinstance(payload, Mapping) or "format_version" not in payload:
+        found = (
+            f"keys {sorted(payload)}"
+            if isinstance(payload, Mapping)
+            else f"a {type(payload).__name__}"
+        )
+        raise CorruptCheckpointError(
+            f"{source}: not a MultiSeriesEngine checkpoint (missing "
+            f"format_version; found {found})"
+        )
+    version = payload["format_version"]
+    if version == CHECKPOINT_FORMAT_VERSION:
+        return dict(payload)
+    if version in MIGRATABLE_FORMAT_VERSIONS:
+        # v1 -> v2: the per-series state is unchanged; stamp the new
+        # lineage counter (a v1 snapshot predates generations).
+        migrated = dict(payload)
+        migrated["format_version"] = CHECKPOINT_FORMAT_VERSION
+        migrated.setdefault("generation", 0)
+        return migrated
+    raise CheckpointVersionError(
+        source,
+        version,
+        CHECKPOINT_FORMAT_VERSION,
+        detail=(
+            f"migratable older versions: {list(MIGRATABLE_FORMAT_VERSIONS)}; "
+            "re-save the checkpoint with a matching build"
+        ),
+    )
+
+
+# ----------------------------------------------------------------- manifest
+
+
+def build_manifest(
+    generation: int,
+    engine_spec: dict,
+    cohorts: list[dict],
+    wal: str,
+) -> dict:
+    """Assemble a manifest document (plain JSON-able data)."""
+    return {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "generation": int(generation),
+        "engine_spec": engine_spec,
+        "cohorts": cohorts,
+        "wal": wal,
+    }
+
+
+def validate_manifest(manifest: Any, source) -> dict:
+    """Check a decoded manifest's shape; raise with file context if bad."""
+    if not isinstance(manifest, Mapping):
+        raise CorruptCheckpointError(
+            f"{source}: manifest must be a JSON object, found "
+            f"{type(manifest).__name__}"
+        )
+    missing = [key for key in _MANIFEST_KEYS if key not in manifest]
+    if missing:
+        raise CorruptCheckpointError(
+            f"{source}: manifest is missing required keys {missing} "
+            f"(expected {list(_MANIFEST_KEYS)}, found {sorted(manifest)})"
+        )
+    version = manifest["format_version"]
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointVersionError(source, version, CHECKPOINT_FORMAT_VERSION)
+    cohorts = manifest["cohorts"]
+    if not isinstance(cohorts, list) or not all(
+        isinstance(cohort, Mapping) and "id" in cohort and "segment" in cohort
+        for cohort in cohorts
+    ):
+        raise CorruptCheckpointError(
+            f"{source}: manifest 'cohorts' must be a list of "
+            "{id, segment, ...} objects"
+        )
+    return dict(manifest)
+
+
+# ----------------------------------------------------------------- segments
+
+
+def encode_segment(states: dict) -> bytes:
+    """Serialize one cohort's ``{key: per-series state}`` mapping."""
+    return pickle.dumps(states, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_segment(payload: bytes, source) -> dict:
+    """Deserialize a cohort segment, raising with file context if bad."""
+    try:
+        states = pickle.loads(payload)
+    except Exception as error:
+        raise CorruptCheckpointError(
+            f"{source}: cohort segment is not a readable pickle ({error})"
+        ) from error
+    if not isinstance(states, dict):
+        raise CorruptCheckpointError(
+            f"{source}: cohort segment must decode to a dict of per-series "
+            f"state, found {type(states).__name__}"
+        )
+    return states
+
+
+# -------------------------------------------------------------- WAL records
+
+
+def encode_wal_record(kind: str, *parts) -> bytes:
+    """Serialize one WAL record: an ingested batch in columnar form."""
+    return pickle.dumps((kind, *parts), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_wal_record(payload: bytes, source) -> tuple:
+    """Deserialize a WAL record, raising with file context if bad."""
+    try:
+        record = pickle.loads(payload)
+    except Exception as error:
+        raise CorruptCheckpointError(
+            f"{source}: WAL record is not a readable pickle ({error})"
+        ) from error
+    if not isinstance(record, tuple) or not record or not isinstance(record[0], str):
+        raise CorruptCheckpointError(
+            f"{source}: WAL record must decode to a (kind, ...) tuple, "
+            f"found {type(record).__name__}"
+        )
+    return record

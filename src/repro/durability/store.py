@@ -1,0 +1,196 @@
+"""Checkpoint storage abstraction and the single-file snapshot store.
+
+:class:`CheckpointStore` is the contract a durable engine session is
+written against: a small namespaced blob store (one **manifest**, many
+**cohort segments**) plus an appendable **write-ahead log**.  An engine
+whose full lifecycle -- open, ingest, checkpoint, crash, recover -- goes
+through this interface can be rebuilt on any worker from data alone, which
+is exactly what the sharding roadmap needs.  The directory-backed
+implementation lives in :mod:`repro.durability.directory`; alternative
+backends (object stores, replicated logs) only need to honour two
+invariants:
+
+* :meth:`write_manifest` and :meth:`write_segment` are **atomic**: after a
+  crash at any moment a reader sees either the complete old artifact or
+  the complete new one, never a torn mixture;
+* :meth:`wal_records` returns the longest **complete prefix** of appended
+  records: a crash mid-append may lose the in-flight record, but never
+  yields a damaged one and never drops an earlier record.
+
+:class:`SingleSnapshotStore` is the degenerate one-file store behind the
+legacy ``engine.save(path)`` / ``MultiSeriesEngine.load(path)`` API: a
+single whole-engine snapshot, written atomically (tmp file + ``fsync`` +
+``os.replace``), with no WAL and no incremental segments.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from abc import ABC, abstractmethod
+from pathlib import Path
+from typing import Iterator
+
+from repro.durability.errors import CorruptCheckpointError
+
+__all__ = [
+    "CheckpointStore",
+    "SingleSnapshotStore",
+    "atomic_write_bytes",
+    "fsync_directory",
+]
+
+
+def fsync_directory(directory: Path) -> None:
+    """Flush a directory entry so a just-renamed file survives a crash.
+
+    ``os.replace`` makes the rename atomic, but on POSIX the *directory*
+    holding the new name must itself be fsynced for the rename to be
+    durable.  Platforms whose directory handles cannot be fsynced (e.g.
+    Windows) simply skip this -- the rename is still atomic there.
+    """
+    try:
+        handle = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(handle)
+    except OSError:
+        pass
+    finally:
+        os.close(handle)
+
+
+def atomic_write_bytes(path: Path, data: bytes, pre_replace_hook=None) -> None:
+    """Write ``data`` to ``path`` atomically: tmp + fsync + ``os.replace``.
+
+    A crash at any moment leaves either the previous content of ``path``
+    or the new content -- never a truncated file.  ``pre_replace_hook``
+    (test-only) runs after the tmp file is durable but before the rename,
+    which is the interesting crash window.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as stream:
+        stream.write(data)
+        stream.flush()
+        os.fsync(stream.fileno())
+    if pre_replace_hook is not None:
+        pre_replace_hook()
+    os.replace(tmp, path)
+    fsync_directory(path.parent)
+
+
+class CheckpointStore(ABC):
+    """Storage contract of a durable engine session (manifest/segments/WAL)."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable location of the store (for error messages)."""
+
+    # ------------------------------------------------------------- manifest
+
+    @abstractmethod
+    def read_manifest(self) -> dict | None:
+        """The current manifest document, or ``None`` for an empty store."""
+
+    @abstractmethod
+    def write_manifest(self, manifest: dict) -> None:
+        """Atomically replace the manifest (the checkpoint commit point)."""
+
+    # ------------------------------------------------------------- segments
+
+    @abstractmethod
+    def write_segment(self, name: str, payload: bytes) -> None:
+        """Atomically write one cohort segment blob under ``name``."""
+
+    @abstractmethod
+    def read_segment(self, name: str) -> bytes:
+        """Read one segment blob (raises ``CorruptCheckpointError`` if absent)."""
+
+    @abstractmethod
+    def delete_segment(self, name: str) -> None:
+        """Delete one segment blob (missing blobs are ignored)."""
+
+    @abstractmethod
+    def list_segments(self) -> list[str]:
+        """Names of every stored segment blob (any order)."""
+
+    # ------------------------------------------------------------------ WAL
+
+    @abstractmethod
+    def wal_start(self, name: str) -> None:
+        """Open WAL segment ``name`` for appending (created if missing).
+
+        Any previously open WAL segment is closed first.  Appending to an
+        existing segment continues after its last complete record.
+        """
+
+    @abstractmethod
+    def wal_append(self, record: bytes) -> None:
+        """Append one record to the open WAL segment and flush it."""
+
+    @abstractmethod
+    def wal_records(self, name: str) -> Iterator[bytes]:
+        """Iterate the longest complete prefix of records in segment ``name``.
+
+        A torn tail (crash mid-append) ends the iteration silently; a
+        missing segment yields nothing -- both are the defined crash
+        windows, not errors.
+        """
+
+    @abstractmethod
+    def list_wals(self) -> list[str]:
+        """Names of every WAL segment present (any order)."""
+
+    @abstractmethod
+    def wal_delete(self, name: str) -> None:
+        """Delete one WAL segment (missing segments are ignored)."""
+
+    def close(self) -> None:
+        """Release any open handles (idempotent)."""
+
+
+class SingleSnapshotStore:
+    """One pickle file holding one whole-engine snapshot.
+
+    This is the storage behind the legacy ``save``/``load`` API: no WAL,
+    no per-cohort segments, the whole engine serialized on every write --
+    but the write is **atomic** (tmp + fsync + ``os.replace``), so a crash
+    mid-save can no longer truncate the only copy of the checkpoint.
+
+    The container format is pickle (the numeric per-series state has no
+    flat representation), so snapshot files carry pickle's trust model:
+    :meth:`read` must only be pointed at files from trusted sources.
+    """
+
+    def __init__(self, path):
+        self.path = Path(os.fspath(path))
+
+    def describe(self) -> str:
+        return str(self.path)
+
+    def write(self, payload: dict, pre_replace_hook=None) -> None:
+        """Atomically replace the snapshot with ``payload`` (pickled)."""
+        atomic_write_bytes(
+            self.path,
+            pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL),
+            pre_replace_hook=pre_replace_hook,
+        )
+
+    def read(self) -> dict:
+        """Load the snapshot payload.
+
+        Raises ``FileNotFoundError`` if no snapshot exists and
+        :class:`CorruptCheckpointError` (naming the file) if the bytes are
+        not a readable pickle.
+        """
+        with open(self.path, "rb") as stream:
+            data = stream.read()
+        try:
+            return pickle.loads(data)
+        except Exception as error:
+            raise CorruptCheckpointError(
+                f"{self.path}: not a readable checkpoint pickle ({error}); "
+                "expected a file written by MultiSeriesEngine.save()"
+            ) from error

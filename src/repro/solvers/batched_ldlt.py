@@ -270,18 +270,39 @@ class BatchedIncrementalLDLT:
         m_trail, bp_trail, sizes = self.undo_state()
         return self._make_scalar(m_trail[index], bp_trail[index], int(sizes[index]))
 
-    def _make_scalar(
-        self, m_trail: np.ndarray, bp_trail: np.ndarray, size: int
-    ) -> IncrementalBandedLDLT:
+    def _make_scalar(self, m_trail, bp_trail, size: int) -> IncrementalBandedLDLT:
+        """Scalar solver from one member's trailing state (arrays or lists)."""
         solver = IncrementalBandedLDLT(self.half_bandwidth)
         solver.size = size
         solver._incremental = True
         solver._dense_matrix = None
         solver._dense_rhs = None
         # ndarray.tolist() yields exact Python floats -- no value changes.
-        solver._m_trail = m_trail.tolist()
-        solver._bp_trail = bp_trail.tolist()
+        solver._m_trail = (
+            m_trail.tolist() if isinstance(m_trail, np.ndarray) else m_trail
+        )
+        solver._bp_trail = (
+            bp_trail.tolist() if isinstance(bp_trail, np.ndarray) else bp_trail
+        )
         return solver
+
+    def extract_many(self, columns: np.ndarray) -> list[IncrementalBandedLDLT]:
+        """Materialize the members at ``columns`` as scalar solvers at once.
+
+        Equivalent to ``[self.extract(c) for c in columns]`` but gathers
+        each state array once (one fancy-indexed copy) and bulk-converts it
+        with a single ``ndarray.tolist()`` instead of ``len(columns)``
+        strided per-member conversions -- the hot piece of exporting a
+        dirty cohort's state for an incremental checkpoint.
+        """
+        columns = np.asarray(columns, dtype=np.intp)
+        m_lists = self._m_trail[columns].tolist()
+        b_lists = self._bp_trail[columns].tolist()
+        sizes = self._sizes[columns].tolist()
+        return [
+            self._make_scalar(m_lists[position], b_lists[position], sizes[position])
+            for position in range(columns.size)
+        ]
 
     def load(self, index: int, solver: IncrementalBandedLDLT) -> None:
         """Overwrite member ``index`` with a scalar solver's state.

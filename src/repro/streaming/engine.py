@@ -33,12 +33,21 @@ keyed streams over the shared fast kernel, with
   key creates its pipeline; values are buffered until the configured
   initialization window is full, then the batch initialization phase runs
   and the series goes live;
-* **portable versioned checkpoints** -- :meth:`save` writes
-  ``{format_version, engine_spec, per-series state}`` to a file and
-  :meth:`MultiSeriesEngine.load` rebuilds a fully equivalent engine from
-  that file alone, in a different process if desired; the in-memory
-  :meth:`snapshot` / :meth:`restore` pair remains for cheap same-process
-  rewind;
+* **durable sessions** -- :meth:`open` binds the engine to a
+  :class:`~repro.durability.CheckpointStore` (directory-backed by
+  default): every ingested batch is appended to a write-ahead log in
+  columnar form *before* state advances, :meth:`checkpoint` persists only
+  the cohorts that changed since the last checkpoint (per-series progress
+  markers make dirtiness detection O(fleet) array reads), and reopening
+  the store after a crash recovers the latest consistent manifest and
+  replays the surviving WAL prefix bit-identically -- the engine picks up
+  the stream exactly where the surviving log ends;
+* **portable versioned checkpoints** -- the legacy one-file form:
+  :meth:`save` writes ``{format_version, engine_spec, per-series state}``
+  atomically to a single file and :meth:`MultiSeriesEngine.load` rebuilds
+  a fully equivalent engine from that file alone, in a different process
+  if desired; the in-memory :meth:`snapshot` / :meth:`restore` pair
+  remains for cheap same-process rewind;
 * **fleet statistics** -- :meth:`fleet_stats` aggregates anomaly counts and
   per-key update-latency percentiles (via
   :func:`repro.streaming.latency.summarize_latencies`) across the fleet.
@@ -54,11 +63,10 @@ from __future__ import annotations
 import copy
 import enum
 import gc
-import pickle
+import os
 import time
 import warnings
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Callable, Hashable, Iterable, Tuple
 
 import numpy as np
@@ -66,6 +74,25 @@ import numpy as np
 from repro.core.fleet import ColumnarNSigma, FleetKernel
 from repro.core.nsigma import NSigma
 from repro.core.oneshotstl import OneShotSTL
+from repro.durability import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointStore,
+    CheckpointSummary,
+    CorruptCheckpointError,
+    DirectoryCheckpointStore,
+    SingleSnapshotStore,
+    migrate_snapshot_payload,
+)
+from repro.durability.format import (
+    build_manifest,
+    decode_segment,
+    decode_wal_record,
+    encode_segment,
+    encode_wal_record,
+    segment_name,
+    validate_manifest,
+    wal_name,
+)
 from repro.specs import DecomposerSpec, DetectorSpec, EngineSpec, PipelineSpec
 from repro.streaming.buffer import RingBuffer
 from repro.streaming.latency import LatencyReport, summarize_latencies
@@ -81,9 +108,6 @@ __all__ = [
     "SeriesStatus",
     "SeriesStats",
 ]
-
-#: version stamp written into (and required from) portable checkpoints
-CHECKPOINT_FORMAT_VERSION = 1
 
 
 class SeriesStatus(str, enum.Enum):
@@ -535,6 +559,30 @@ class _FleetGroup:
         self.flush_counters(column, state)
         self.flush_latency(column, state)
 
+    def sync_members(self, columns: np.ndarray, states: list) -> None:
+        """Batched :meth:`sync_series` over a cohort of columns.
+
+        One gathered export per state array (see
+        :meth:`FleetKernel.write_members`) instead of per-member array
+        indexing -- this is what makes exporting a dirty cohort for an
+        incremental checkpoint cheap even when the cohort lives inside a
+        much larger kernel group.  State written is identical to calling
+        :meth:`sync_series` per member.
+        """
+        columns = np.asarray(columns, dtype=np.intp)
+        pipelines = [state.pipeline for state in states]
+        self.kernel.write_members(
+            columns, [pipeline.decomposer for pipeline in pipelines]
+        )
+        self.scorer.write_many(
+            columns, [pipeline.scorer for pipeline in pipelines]
+        )
+        indices = self.indices[columns].tolist()
+        for position, (column, state) in enumerate(zip(columns.tolist(), states)):
+            pipelines[position]._index = indices[position]
+            self.flush_counters(column, state)
+            self.flush_latency(column, state)
+
     def load_series(self, column: int, state: _SeriesState) -> None:
         """Refresh column ``column`` from the series' object state."""
         pipeline = state.pipeline
@@ -670,6 +718,25 @@ class MultiSeriesEngine:
         self._groups: dict[str, _FleetGroup] = {}
         self._absorbed: dict[Hashable, tuple[_FleetGroup, int]] = {}
         self._never_absorb: set = set()
+        # ----- durable-session state (inert until open()/attach_store()) --
+        #: series per durable checkpoint cohort: an incremental checkpoint
+        #: re-serializes state one cohort at a time, so this bounds both
+        #: the write amplification of a single dirty series (one cohort)
+        #: and the segment count of a full fleet (n_series / size files).
+        self.checkpoint_cohort_size = 64
+        #: auto-checkpoint after this many WAL records (None: manual only);
+        #: checked after each completed ingest/process call, never mid-batch.
+        self.checkpoint_interval: int | None = None
+        self._store: CheckpointStore | None = None
+        self._generation = 0
+        self._replaying = False
+        self._wal_suppressed = False
+        self._wal_records_pending = 0
+        self._cohort_of: dict[Hashable, int] = {}
+        self._cohort_members: dict[int, list] = {}
+        self._cohort_segments: dict[int, str] = {}
+        self._cohort_markers: dict[int, dict] = {}
+        self._next_cohort_id = 0
 
     # --------------------------------------------------------- construction
 
@@ -745,7 +812,21 @@ class MultiSeriesEngine:
         the columnar arrays, processed through the ordinary scalar
         pipeline, and written back, so mixing ``process`` and ``ingest``
         freely is safe (and exactly equal to never batching at all).
+
+        In a durable session the observation is WAL-appended *before*
+        validation runs (logging must precede any chance of a state
+        change).  A rejected observation therefore still leaves a record
+        behind; replay re-rejects it identically, so recovery is
+        unaffected -- but callers retry-looping a rejected value will
+        grow the WAL by one dead record per attempt.
         """
+        self._wal_append("point", key, value)
+        record = self._process_unlogged(key, value)
+        self._maybe_auto_checkpoint()
+        return record
+
+    def _process_unlogged(self, key: Hashable, value: float) -> EngineRecord:
+        """The body of :meth:`process`, without WAL logging (replay path)."""
         location = self._absorbed.get(key)
         if location is not None:
             group, column = location
@@ -784,11 +865,19 @@ class MultiSeriesEngine:
 
         return self._process_live(key, state, value)
 
+    def _track_latency_now(self) -> bool:
+        """Whether this observation's duration should be recorded.
+
+        WAL replay is excluded: replay-speed timings are not ingest
+        latencies and would corrupt the post-recovery percentiles.
+        """
+        return self.track_latency and not self._replaying
+
     def _process_live(
         self, key: Hashable, state: _SeriesState, value: float
     ) -> EngineRecord:
         """Scalar-path processing of one observation for a live series."""
-        if self.track_latency:
+        if self._track_latency_now():
             start = time.perf_counter()
             record = state.pipeline.process(value)
             state.latencies.append(time.perf_counter() - start)
@@ -836,10 +925,20 @@ class MultiSeriesEngine:
         sequentially to keep that contract).  Callers that need to resume
         should sanitize values up front, or re-submit only the tail of the
         batch that follows the offending observation.
+
+        In a durable session (:meth:`open`) the *normalized* batch is
+        appended to the write-ahead log -- in columnar form, one record
+        per call -- before any state advances, so replaying the log
+        reproduces the batch (including a mid-batch rejection) exactly.
         """
         if isinstance(batch, dict):
             round_keys, grid = self._grid_from_dict(batch)
-            return self._ingest_grid(round_keys, grid, columnar_results)
+            self._wal_append("grid", round_keys, grid)
+            result = self._with_wal_suppressed(
+                self._ingest_grid, round_keys, grid, columnar_results
+            )
+            self._maybe_auto_checkpoint()
+            return result
         if (
             isinstance(batch, tuple)
             and len(batch) == 2
@@ -861,14 +960,28 @@ class MultiSeriesEngine:
             except (TypeError, ValueError, IndexError):
                 # Malformed rows or unconvertible values: let the sequential
                 # path raise (or not) with its per-record semantics.
-                process = self.process
-                records = [process(key, value) for key, value in rows]
-                if columnar_results:
-                    return IngestResult.from_records(
-                        [record.key for record in records], records
-                    )
-                return records
-        return self._ingest_keys_values(keys, values, columnar_results)
+                self._wal_append("raw_rows", rows)
+                result = self._with_wal_suppressed(
+                    self._ingest_raw_rows, rows, columnar_results
+                )
+                self._maybe_auto_checkpoint()
+                return result
+        self._wal_append("rows", keys, values)
+        result = self._with_wal_suppressed(
+            self._ingest_keys_values, keys, values, columnar_results
+        )
+        self._maybe_auto_checkpoint()
+        return result
+
+    def _ingest_raw_rows(self, rows: list, columnar_results: bool):
+        """Per-record processing of rows that resisted columnar conversion."""
+        process = self._process_unlogged
+        records = [process(key, value) for key, value in rows]
+        if columnar_results:
+            return IngestResult.from_records(
+                [record.key for record in records], records
+            )
+        return records
 
     def ingest_columnar(self, batch) -> IngestResult:
         """Ingest a batch and keep the results columnar (arrays out).
@@ -1153,7 +1266,8 @@ class MultiSeriesEngine:
         operations; no per-row Python objects are built here (records are
         materialized lazily by the :class:`IngestResult`).
         """
-        if self.track_latency:
+        track_latency = self._track_latency_now()
+        if track_latency:
             start = time.perf_counter()
         if full:
             out = group.kernel.update(batch_values)
@@ -1163,7 +1277,7 @@ class MultiSeriesEngine:
             scorer = group.scorer.select(columns)
             scores, flags = scorer.update(out.detection_residual)
             group.scorer.assign(columns, scorer)
-        if self.track_latency:
+        if track_latency:
             per_point = (time.perf_counter() - start) / columns.size
             group.record_latency(None if full else columns, per_point)
         result.index[positions] = group.indices if full else group.indices[columns]
@@ -1221,8 +1335,29 @@ class MultiSeriesEngine:
 
     def _sync_all(self) -> None:
         """Materialize every absorbed series' object state from the kernel."""
-        for key, (group, column) in self._absorbed.items():
-            group.sync_series(column, self._series[key])
+        self._sync_keys(self._absorbed)
+
+    def _sync_keys(self, keys: Iterable[Hashable]) -> None:
+        """Materialize the given absorbed series, batched group by group.
+
+        Non-absorbed keys are skipped (their object state is already
+        authoritative); the per-group batches go through
+        :meth:`_FleetGroup.sync_members`, so exporting a cohort costs a
+        handful of gathered array reads rather than per-series indexing.
+        """
+        by_group: dict[int, tuple[_FleetGroup, list, list]] = {}
+        for key in keys:
+            location = self._absorbed.get(key)
+            if location is None:
+                continue
+            group, column = location
+            entry = by_group.get(id(group))
+            if entry is None:
+                entry = by_group[id(group)] = (group, [], [])
+            entry[1].append(column)
+            entry[2].append(self._series[key])
+        for group, columns, states in by_group.values():
+            group.sync_members(np.asarray(columns, dtype=np.intp), states)
 
     def _reset_fleet_groups(self) -> None:
         """Drop all columnar bookkeeping (after replacing ``_series``)."""
@@ -1282,6 +1417,419 @@ class MultiSeriesEngine:
             per_series=per_series,
         )
 
+    # ------------------------------------------------------ durable sessions
+
+    def __enter__(self) -> "MultiSeriesEngine":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        # A clean exit checkpoints (the WAL is then empty and recovery is
+        # instant); an exception skips the checkpoint but keeps the WAL --
+        # everything ingested before the failure replays on reopen.
+        self.close(checkpoint=exc_type is None)
+
+    @staticmethod
+    def _coerce_store(store) -> CheckpointStore:
+        if isinstance(store, CheckpointStore):
+            return store
+        if isinstance(store, (str, os.PathLike)):
+            return DirectoryCheckpointStore(store)
+        raise TypeError(
+            "store must be a CheckpointStore or a path to a store "
+            f"directory, got {type(store).__name__}"
+        )
+
+    @classmethod
+    def open(cls, store, spec: EngineSpec | None = None) -> "MultiSeriesEngine":
+        """Open a durable engine session on ``store`` (create or recover).
+
+        ``store`` is a :class:`~repro.durability.CheckpointStore` or a
+        path (``str`` / :class:`os.PathLike`) to a
+        :class:`~repro.durability.DirectoryCheckpointStore` directory.
+
+        * **Empty store**: ``spec`` is required; the engine is built from
+          it and the spec is committed to the store's manifest immediately,
+          so even a crash before the first :meth:`checkpoint` recovers
+          (spec from the manifest, data from the WAL).
+        * **Populated store**: the engine is rebuilt from the latest
+          consistent manifest -- configuration comes from the manifest, so
+          no code-side configuration is needed -- and the surviving WAL
+          tail is replayed bit-identically.  Passing ``spec`` is then only
+          a cross-check: a mismatch raises ``ValueError``.
+
+        The returned engine is a context manager: ``with
+        MultiSeriesEngine.open(...) as engine: ...`` checkpoints on clean
+        exit and closes the store either way.  While the session is open,
+        every ingested batch is WAL-appended before state advances and
+        :meth:`checkpoint` persists dirty cohorts incrementally.
+
+        Two caveats.  *Runtime tuning knobs* --
+        :attr:`checkpoint_interval`, :attr:`checkpoint_cohort_size`,
+        :attr:`kernel_min_cohort` -- are process-local, not part of the
+        stream's configuration, so they are not stored in the manifest:
+        re-set them after ``open()`` if you changed the defaults.  And
+        WAL records carry their keys/values via pickle, so they share the
+        checkpoint's portability constraints: keys and values must
+        unpickle in the recovering process (classes defined in a script's
+        ``__main__`` or in modules absent on the recovery side will fail
+        the replay with :class:`~repro.durability.CorruptCheckpointError`).
+        """
+        store = cls._coerce_store(store)
+        manifest = store.read_manifest()
+        if manifest is None:
+            if spec is None:
+                raise ValueError(
+                    f"checkpoint store {store.describe()} is empty and no "
+                    "spec was given: opening a fresh durable session needs "
+                    "an EngineSpec (recovery reads it from the manifest)"
+                )
+            engine = cls.from_spec(spec)
+            engine.attach_store(store, checkpoint=False)
+            return engine
+        if spec is not None:
+            # Cross-check before recovery runs: rebuilding segments and
+            # replaying the WAL of a large store is expensive, and a
+            # mismatched spec fails regardless of what they contain.
+            stored = EngineSpec.from_dict(
+                validate_manifest(manifest, store.describe())["engine_spec"]
+            )
+            if stored != spec:
+                store.close()
+                raise ValueError(
+                    f"checkpoint store {store.describe()} already holds a "
+                    "session with a different EngineSpec; recovery always "
+                    "uses the stored spec.  Open without spec=, or use a "
+                    f"fresh store.  stored={stored!r} given={spec!r}"
+                )
+        return cls._recover(store, manifest)
+
+    def attach_store(self, store, checkpoint: bool = True) -> None:
+        """Bind this engine to an *empty* store and start journaling.
+
+        The manifest (carrying the engine's spec) is committed immediately
+        and the WAL opens, so everything ingested from here on is
+        recoverable.  With ``checkpoint=True`` (default) the engine's
+        *current* state is persisted right away too -- otherwise series
+        that exist now are only durable after the next :meth:`checkpoint`.
+        """
+        if self._store is not None:
+            raise RuntimeError(
+                "engine is already attached to a checkpoint store; close() "
+                "the current session first"
+            )
+        if self.spec is None:
+            raise ValueError(
+                "only spec-built engines can open a durable session: the "
+                "manifest stores the EngineSpec so recovery needs no "
+                "code-side configuration (construct via from_spec() or "
+                "for_oneshotstl())"
+            )
+        store = self._coerce_store(store)
+        if store.read_manifest() is not None:
+            raise ValueError(
+                f"checkpoint store {store.describe()} already holds a "
+                "session; use MultiSeriesEngine.open(store) to recover it, "
+                "or point attach_store() at a fresh location"
+            )
+        self._generation = 0
+        # Any bookkeeping from a previous session describes segments of the
+        # *old* store: dropped, so every cohort reads as dirty and the
+        # first checkpoint writes complete segments into this store.
+        self._cohort_segments = {}
+        self._cohort_markers = {}
+        store.write_manifest(
+            build_manifest(0, self.spec.to_dict(), [], wal_name(0))
+        )
+        store.wal_start(wal_name(0))
+        self._store = store
+        self._wal_records_pending = 0
+        if checkpoint and self._series:
+            self.checkpoint()
+
+    @classmethod
+    def _recover(cls, store: CheckpointStore, manifest: dict) -> "MultiSeriesEngine":
+        """Rebuild an engine from a manifest + segments + WAL tail."""
+        source = store.describe()
+        manifest = validate_manifest(manifest, source)
+        engine = cls.from_spec(EngineSpec.from_dict(manifest["engine_spec"]))
+        for cohort in manifest["cohorts"]:
+            cohort_id = int(cohort["id"])
+            name = cohort["segment"]
+            states = decode_segment(store.read_segment(name), f"{source}/{name}")
+            members = []
+            markers = {}
+            for key, state in states.items():
+                if not isinstance(state, _SeriesState):
+                    raise CorruptCheckpointError(
+                        f"{source}/{name}: checkpoint per-series state is "
+                        f"malformed (key {key!r} holds a "
+                        f"{type(state).__name__}, expected engine series "
+                        "state)"
+                    )
+                engine._series[key] = state
+                members.append(key)
+                # Progress markers are taken *before* WAL replay, so they
+                # describe what the segment holds: replayed series drift
+                # past their marker and read as dirty at the next
+                # checkpoint, untouched series stay clean.
+                markers[key] = state.points
+            engine._cohort_members[cohort_id] = members
+            engine._cohort_segments[cohort_id] = name
+            engine._cohort_markers[cohort_id] = markers
+            for key in members:
+                engine._cohort_of[key] = cohort_id
+        engine._next_cohort_id = (
+            max(engine._cohort_members, default=-1) + 1
+        )
+        engine._generation = int(manifest["generation"])
+        engine._store = store
+        # _replaying also suspends latency recording (see _track_latency_now):
+        # the ring buffers hold *observed ingest* durations, and
+        # replay-speed timings (on the record-free columnar path, usually
+        # much faster) would fabricate post-recovery latency percentiles.
+        engine._replaying = True
+        replayed = 0
+        try:
+            for payload in store.wal_records(manifest["wal"]):
+                engine._apply_wal_record(
+                    decode_wal_record(payload, f"{source}/{manifest['wal']}")
+                )
+                replayed += 1
+        finally:
+            engine._replaying = False
+        # Reopen the manifest's WAL segment for appending: new records
+        # extend the replayed prefix.  The replayed records still count
+        # toward checkpoint_interval -- they are real un-checkpointed WAL
+        # backlog, and a crash-looping process would otherwise reset the
+        # counter on every restart and never auto-checkpoint.
+        store.wal_start(manifest["wal"])
+        engine._wal_records_pending = replayed
+        return engine
+
+    def _apply_wal_record(self, record: tuple) -> None:
+        """Re-apply one logged batch during recovery.
+
+        Each record replays through exactly the code path that produced
+        it.  A record that raises a *validation* error (``ValueError`` /
+        ``TypeError``, e.g. a non-finite warmup value or a malformed row)
+        raised identically in the original run *after* the same partial
+        application, so those are swallowed and replay continues -- just
+        as the original caller kept going.  Anything else (``OSError``,
+        ``MemoryError``, ...) is a replay-side failure that the original
+        run did not have: it propagates, failing recovery loudly instead
+        of silently diverging from the logged stream.
+        """
+        kind = record[0]
+        try:
+            # columnar_results=True: replay only needs the state advance,
+            # so skip the per-row record materialization (the dominant
+            # cost of the eager path) entirely.
+            if kind == "grid":
+                self._ingest_grid(record[1], record[2], True)
+            elif kind == "rows":
+                self._ingest_keys_values(record[1], record[2], True)
+            elif kind == "raw_rows":
+                self._ingest_raw_rows(record[1], False)
+            elif kind == "point":
+                self._process_unlogged(record[1], record[2])
+            else:
+                raise CorruptCheckpointError(
+                    f"{self._store.describe()}: unknown WAL record kind "
+                    f"{kind!r} (this build understands grid/rows/raw_rows/"
+                    "point)"
+                )
+        except CorruptCheckpointError:
+            raise
+        except (ValueError, TypeError):
+            pass
+
+    def _wal_append(self, kind: str, *parts) -> None:
+        """Append one ingest record to the session WAL (no-op when detached)."""
+        if self._store is None or self._replaying or self._wal_suppressed:
+            return
+        self._store.wal_append(encode_wal_record(kind, *parts))
+        self._wal_records_pending += 1
+
+    def _with_wal_suppressed(self, call, *args):
+        """Run ``call`` with per-observation WAL logging disabled.
+
+        Batched ingest logs once per call; the per-observation
+        :meth:`process` invocations it makes internally must not log again.
+        """
+        previous = self._wal_suppressed
+        self._wal_suppressed = True
+        try:
+            return call(*args)
+        finally:
+            self._wal_suppressed = previous
+
+    def _maybe_auto_checkpoint(self) -> None:
+        """Checkpoint when the configured WAL-record interval has passed.
+
+        Runs only after a *completed* top-level ingest/process call (never
+        mid-batch, never during replay), so the WAL records dropped by the
+        checkpoint are all fully applied.
+        """
+        if (
+            self.checkpoint_interval is None
+            or self._store is None
+            or self._replaying
+            or self._wal_suppressed
+        ):
+            return
+        if self._wal_records_pending >= self.checkpoint_interval:
+            self.checkpoint()
+
+    # ------------------------------------------------ incremental checkpoints
+
+    def _series_marker(self, key: Hashable) -> int:
+        """Monotone progress counter of one series (cheap, no sync needed).
+
+        The marker is the series' total observation count in one uniform
+        basis: the flushed ``points`` counter plus, for kernel-absorbed
+        series, the group's pending (not yet flushed) points for that
+        column.  Every mutation of a series advances it, every flush
+        preserves it (the flush moves pending into ``points``), and it
+        never switches representation when a series migrates between the
+        scalar and kernel paths -- so a stale marker can never alias a
+        newer state, which is what lets :meth:`checkpoint` trust "marker
+        unchanged" to mean "cohort segment still valid".
+        """
+        state = self._series[key]
+        location = self._absorbed.get(key)
+        if location is not None:
+            group, column = location
+            return state.points + int(group.points_pending[column])
+        return state.points
+
+    def _assign_cohorts(self) -> None:
+        """Place every unassigned series into a durable checkpoint cohort.
+
+        New series fill the newest cohort up to
+        :attr:`checkpoint_cohort_size`, then open a fresh one -- appending
+        only ever dirties the newest cohort, so long-idle cohorts keep
+        their segments byte-for-byte.
+        """
+        newest = self._next_cohort_id - 1
+        for key in self._series:
+            if key in self._cohort_of:
+                continue
+            members = self._cohort_members.get(newest)
+            if members is None or len(members) >= self.checkpoint_cohort_size:
+                newest = self._next_cohort_id
+                self._next_cohort_id += 1
+                members = self._cohort_members[newest] = []
+            members.append(key)
+            self._cohort_of[key] = newest
+
+    def _cohort_dirty(self, cohort_id: int) -> bool:
+        """Whether a cohort changed since its segment was last written."""
+        markers = self._cohort_markers.get(cohort_id)
+        members = self._cohort_members[cohort_id]
+        if markers is None or len(markers) != len(members):
+            return True
+        get = markers.get
+        return any(get(key) != self._series_marker(key) for key in members)
+
+    def _export_cohort(self, cohort_id: int) -> dict:
+        """Materialize one cohort's per-series state, batched per group."""
+        members = self._cohort_members[cohort_id]
+        self._sync_keys(members)
+        return {key: self._series[key] for key in members}
+
+    def checkpoint(self) -> CheckpointSummary:
+        """Persist all changes since the last checkpoint to the store.
+
+        Only *dirty* cohorts -- those whose series ingested anything since
+        their segment was written -- are re-serialized; clean cohorts keep
+        their existing segment files, so checkpointing a mostly-idle fleet
+        writes a handful of segments plus one manifest.  The sequence is
+        crash-safe at every step: segments first (atomic each), then the
+        manifest swap (the commit point), then WAL truncation and garbage
+        collection -- a crash anywhere leaves either the old or the new
+        checkpoint fully intact, never a mixture.
+
+        Returns a :class:`~repro.durability.CheckpointSummary` saying how
+        much was actually written.
+        """
+        store = self._store
+        if store is None:
+            raise RuntimeError(
+                "engine has no checkpoint store: open a durable session "
+                "with MultiSeriesEngine.open(store, spec=...) or "
+                "attach_store() first (save(path) writes one-shot "
+                "snapshots without a session)"
+            )
+        self._assign_cohorts()
+        generation = self._generation + 1
+        segments = dict(self._cohort_segments)
+        dirty = [
+            cohort_id
+            for cohort_id in self._cohort_members
+            if self._cohort_dirty(cohort_id)
+        ]
+        series_written = 0
+        new_markers: dict[int, dict] = {}
+        for cohort_id in dirty:
+            name = segment_name(generation, cohort_id)
+            states = self._export_cohort(cohort_id)
+            store.write_segment(name, encode_segment(states))
+            segments[cohort_id] = name
+            series_written += len(states)
+            new_markers[cohort_id] = {
+                key: self._series_marker(key) for key in states
+            }
+        cohorts = [
+            {
+                "id": cohort_id,
+                "segment": segments[cohort_id],
+                "series": len(self._cohort_members[cohort_id]),
+            }
+            for cohort_id in sorted(self._cohort_members)
+        ]
+        store.write_manifest(
+            build_manifest(
+                generation, self.spec.to_dict(), cohorts, wal_name(generation)
+            )
+        )
+        # -- the manifest rename above is the commit point ------------------
+        self._generation = generation
+        self._cohort_segments = segments
+        self._cohort_markers.update(new_markers)
+        store.wal_start(wal_name(generation))
+        self._wal_records_pending = 0
+        # Garbage: segments/WALs the new manifest no longer references.
+        referenced = set(segments.values())
+        for name in store.list_segments():
+            if name not in referenced:
+                store.delete_segment(name)
+        current_wal = wal_name(generation)
+        for name in store.list_wals():
+            if name != current_wal:
+                store.wal_delete(name)
+        return CheckpointSummary(
+            generation=generation,
+            cohorts_total=len(self._cohort_members),
+            cohorts_written=len(dirty),
+            series_total=len(self._series),
+            series_written=series_written,
+        )
+
+    def close(self, checkpoint: bool = True) -> None:
+        """End the durable session (checkpointing first by default).
+
+        Idempotent; a detached engine closes as a no-op.  The engine stays
+        fully usable in memory afterwards -- it just stops journaling.
+        """
+        store = self._store
+        if store is None:
+            return
+        if checkpoint:
+            self.checkpoint()
+        self._store = None
+        self._wal_records_pending = 0
+        store.close()
+
     # --------------------------------------------------------- checkpointing
 
     def snapshot(self):
@@ -1304,7 +1852,18 @@ class MultiSeriesEngine:
 
         The checkpoint itself stays untouched (it is deep-copied in), so it
         can be restored again later.
+
+        Not available while a durable session is open: an in-memory rewind
+        would silently diverge from the write-ahead log (the rewind is not
+        a logged event), so recovery after a crash would replay into the
+        wrong base state.  ``close()`` the session first.
         """
+        if self._store is not None:
+            raise RuntimeError(
+                "restore() inside a durable session would diverge from the "
+                "write-ahead log; close() the session first, restore, then "
+                "attach a fresh store"
+            )
         if not isinstance(checkpoint, dict) or not all(
             isinstance(state, _SeriesState) for state in checkpoint.values()
         ):
@@ -1312,16 +1871,35 @@ class MultiSeriesEngine:
         self._series = copy.deepcopy(checkpoint)
         # The columnar arrays described the replaced fleet; rebuild lazily.
         self._reset_fleet_groups()
+        # Durable-cohort bookkeeping described the replaced fleet too.
+        self._cohort_of = {}
+        self._cohort_members = {}
+        self._cohort_segments = {}
+        self._cohort_markers = {}
+        self._next_cohort_id = 0
 
     def save(self, path) -> None:
-        """Write a portable versioned checkpoint to ``path``.
+        """Write a portable one-file checkpoint to ``path`` (atomically).
 
-        The file carries ``{format_version, engine_spec, series}``: the
-        declarative :class:`EngineSpec` (as a plain dict) plus the full
-        per-series state, so :meth:`load` can rebuild an equivalent engine
-        in a fresh process from the file alone and continue the stream
-        bit-identically.  Only spec-built engines can be saved -- a factory
-        callable has no portable representation.
+        The file carries ``{format_version, engine_spec, series,
+        generation}``: the declarative :class:`EngineSpec` (as a plain
+        dict) plus the full per-series state, so :meth:`load` can rebuild
+        an equivalent engine in a fresh process from the file alone and
+        continue the stream bit-identically.  Only spec-built engines can
+        be saved -- a factory callable has no portable representation.
+        ``path`` may be anything :class:`os.PathLike`.
+
+        This is a thin shim over
+        :class:`~repro.durability.SingleSnapshotStore`: the whole fleet is
+        re-serialized on every call, but the write is atomic (tmp file +
+        fsync + ``os.replace``), so a crash mid-save leaves the previous
+        checkpoint intact instead of a truncated file.
+
+        .. deprecated:: save/load remain supported, but new deployments
+           should prefer the durable session API (:meth:`open` /
+           :meth:`checkpoint`): it adds a write-ahead log between
+           checkpoints (nothing ingested is lost to a crash) and
+           re-serializes only the cohorts that changed.
 
         The container format is pickle (the numeric per-series state has no
         flat representation), so checkpoint files carry pickle's trust
@@ -1338,9 +1916,9 @@ class MultiSeriesEngine:
             "format_version": CHECKPOINT_FORMAT_VERSION,
             "engine_spec": self.spec.to_dict(),
             "series": self._series,
+            "generation": self._generation,
         }
-        with open(Path(path), "wb") as stream:
-            pickle.dump(payload, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        SingleSnapshotStore(path).write(payload)
 
     @classmethod
     def load(cls, path) -> "MultiSeriesEngine":
@@ -1349,39 +1927,38 @@ class MultiSeriesEngine:
         The engine is reconstructed from the embedded spec (via the
         component registry), then the per-series state is installed, so the
         restored engine continues the stream exactly where :meth:`save`
-        left off.  A checkpoint whose ``format_version`` differs from this
-        build's :data:`CHECKPOINT_FORMAT_VERSION` is rejected with
-        ``ValueError``.
+        left off.  ``path`` may be anything :class:`os.PathLike`.
+
+        Version-1 checkpoints (written before the durability redesign)
+        are migrated transparently; any other ``format_version`` mismatch
+        raises :class:`~repro.durability.CheckpointVersionError` (a
+        ``ValueError``) naming the file, the found and the expected
+        version.  Unreadable or malformed files raise
+        :class:`~repro.durability.CorruptCheckpointError` with the same
+        context.
 
         .. warning:: Checkpoints are pickle files; unpickling runs before
            any validation can happen, so only load checkpoints you trust
            (i.e. that your own deployment saved).
         """
-        with open(Path(path), "rb") as stream:
-            payload = pickle.load(stream)
-        if not isinstance(payload, dict) or "format_version" not in payload:
-            raise ValueError(
-                f"{path!s} is not a MultiSeriesEngine checkpoint "
-                "(missing format_version)"
-            )
-        version = payload["format_version"]
-        if version != CHECKPOINT_FORMAT_VERSION:
-            raise ValueError(
-                f"checkpoint format_version {version!r} is not supported by "
-                f"this build (expected {CHECKPOINT_FORMAT_VERSION}); "
-                "re-save the checkpoint with a matching version"
-            )
+        snapshot = SingleSnapshotStore(path)
+        payload = migrate_snapshot_payload(snapshot.read(), snapshot.describe())
         try:
             spec_data = payload["engine_spec"]
             series = payload["series"]
         except KeyError as error:
-            raise ValueError(
-                f"checkpoint is missing required section {error.args[0]!r}"
+            raise CorruptCheckpointError(
+                f"{snapshot.describe()}: checkpoint is missing required "
+                f"section {error.args[0]!r} (expected engine_spec, series)"
             ) from None
         engine = cls.from_spec(EngineSpec.from_dict(spec_data))
         if not isinstance(series, dict) or not all(
             isinstance(state, _SeriesState) for state in series.values()
         ):
-            raise ValueError("checkpoint per-series state is malformed")
+            raise CorruptCheckpointError(
+                f"{snapshot.describe()}: checkpoint per-series state is "
+                "malformed (expected a dict of engine series state)"
+            )
         engine._series = series
+        engine._generation = int(payload.get("generation", 0))
         return engine

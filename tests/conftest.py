@@ -4,6 +4,20 @@ import numpy as np
 import pytest
 
 
+class SimulatedCrash(RuntimeError):
+    """Raised by durability fault hooks to model the process dying there."""
+
+
+class PathLikeWrapper:
+    """Minimal ``os.PathLike`` that is not a ``str`` or ``pathlib.Path``."""
+
+    def __init__(self, path):
+        self._path = str(path)
+
+    def __fspath__(self) -> str:
+        return self._path
+
+
 def make_seasonal_series(
     length: int,
     period: int,

@@ -1,11 +1,21 @@
-"""Durability tests for the engine's portable versioned checkpoints.
+"""Durability tests for the engine's checkpoints and durable sessions.
 
-The contract under test: ``save(path)`` writes everything needed --
-format version, declarative engine spec, per-series state -- so that
-``MultiSeriesEngine.load(path)`` in a *fresh* context (nothing shared with
-the original engine) continues the stream bit-identically to the
-uninterrupted run.  This is the interface the sharding router and the
-periodicity-drift rebuild are specified against.
+Two contracts under test:
+
+* the portable one-file checkpoint: ``save(path)`` writes everything
+  needed -- format version, declarative engine spec, per-series state --
+  so that ``MultiSeriesEngine.load(path)`` in a *fresh* context (nothing
+  shared with the original engine) continues the stream bit-identically
+  to the uninterrupted run;
+* the durable session: ``MultiSeriesEngine.open(store, spec=...)`` +
+  write-ahead log + incremental ``checkpoint()``.  The recovery oracle
+  (``TestDurabilityOracle``) kills the engine at injected crash points
+  around WAL appends, segment writes and the manifest swap, and asserts
+  that reopening the store recovers a state bit-identical to a fresh
+  engine fed exactly the surviving WAL prefix.
+
+This is the interface the sharding router and the periodicity-drift
+rebuild are specified against.
 """
 
 import pickle
@@ -13,6 +23,10 @@ import pickle
 import numpy as np
 import pytest
 
+from repro.durability import (
+    CorruptCheckpointError,
+    DirectoryCheckpointStore,
+)
 from repro.specs import DecomposerSpec, EngineSpec, PipelineSpec
 from repro.streaming import (
     CHECKPOINT_FORMAT_VERSION,
@@ -22,7 +36,7 @@ from repro.streaming import (
 )
 from repro.core import OneShotSTL
 
-from tests.conftest import make_seasonal_series
+from tests.conftest import PathLikeWrapper, SimulatedCrash, make_seasonal_series
 
 PERIOD = 24
 INIT = 4 * PERIOD
@@ -196,6 +210,542 @@ class TestCheckpointValidation:
             )
         with pytest.raises(ValueError, match="spec-built"):
             engine.save(tmp_path / "nope.ckpt")
+
+
+def uniform_spec():
+    """One spec for every series, so the fleet kernel engages."""
+    return EngineSpec(
+        pipeline=PipelineSpec(DecomposerSpec("oneshotstl", {"period": PERIOD})),
+        initialization_length=INIT,
+    )
+
+
+def _arm(store, point):
+    """Make the next occurrence of kill-point ``point`` crash the store."""
+
+    def hook(name):
+        if name == point:
+            store.fault_hook = None
+            raise SimulatedCrash(point)
+
+    store.fault_hook = hook
+
+
+def _assert_continues_identically(recovered, oracle, batches):
+    """Feed both engines the same tail and require bit-identical outputs."""
+    assert recovered.fleet_stats().points_total == oracle.fleet_stats().points_total
+    for batch in batches:
+        expected = oracle.ingest(batch)
+        actual = recovered.ingest(batch)
+        assert [r.record for r in actual] == [r.record for r in expected]
+        assert [r.status for r in actual] == [r.status for r in expected]
+
+
+class TestDurableSession:
+    def test_open_empty_store_requires_spec(self, tmp_path):
+        with pytest.raises(ValueError, match="spec"):
+            MultiSeriesEngine.open(tmp_path / "store")
+
+    def test_crash_before_first_checkpoint_recovers_from_wal_alone(
+        self, tmp_path
+    ):
+        """The WAL covers everything since open(): no checkpoint() needed."""
+        data = make_fleet_data(10)
+        batches = list(interleaved_batches(data))
+        engine = MultiSeriesEngine.open(tmp_path / "store", spec=uniform_spec())
+        cut = PERIOD * 6
+        for batch in batches[:cut]:
+            engine.ingest(batch)
+        # Simulated crash: the engine is abandoned without close().
+        recovered = MultiSeriesEngine.open(tmp_path / "store")
+        oracle = MultiSeriesEngine.from_spec(uniform_spec())
+        for batch in batches[:cut]:
+            oracle.ingest(batch)
+        _assert_continues_identically(recovered, oracle, batches[cut:])
+
+    def test_checkpoint_plus_wal_tail_recovers_bit_identically(self, tmp_path):
+        data = make_fleet_data(10)
+        batches = list(interleaved_batches(data))
+        engine = MultiSeriesEngine.open(tmp_path / "store", spec=uniform_spec())
+        checkpoint_at, crash_at = PERIOD * 5, PERIOD * 6
+        for batch in batches[:checkpoint_at]:
+            engine.ingest(batch)
+        engine.checkpoint()
+        for batch in batches[checkpoint_at:crash_at]:
+            engine.ingest(batch)
+
+        recovered = MultiSeriesEngine.open(tmp_path / "store")
+        oracle = MultiSeriesEngine.from_spec(uniform_spec())
+        for batch in batches[:crash_at]:
+            oracle.ingest(batch)
+        _assert_continues_identically(recovered, oracle, batches[crash_at:])
+
+    def test_columnar_grid_ingest_recovers_bit_identically(self, tmp_path):
+        """Dict-grid batches are WAL-logged in columnar form and replayed."""
+        data = make_fleet_data(10)
+        engine = MultiSeriesEngine.open(tmp_path / "store", spec=uniform_spec())
+        cut = PERIOD * 6
+        engine.ingest({key: values[:cut] for key, values in data.items()})
+        engine.checkpoint()
+        engine.ingest(
+            {key: values[cut : cut + 12] for key, values in data.items()}
+        )
+        recovered = MultiSeriesEngine.open(tmp_path / "store")
+        oracle = MultiSeriesEngine.from_spec(uniform_spec())
+        oracle.ingest({key: values[: cut + 12] for key, values in data.items()})
+        tail = list(interleaved_batches(data))[cut + 12 :]
+        _assert_continues_identically(recovered, oracle, tail)
+
+    def test_single_key_process_is_journaled(self, tmp_path):
+        values = make_seasonal_series(PERIOD * 6, PERIOD, seed=7)["values"]
+        engine = MultiSeriesEngine.open(tmp_path / "store", spec=uniform_spec())
+        for value in values[: PERIOD * 5]:
+            engine.process("m", float(value))
+        recovered = MultiSeriesEngine.open(tmp_path / "store")
+        oracle = MultiSeriesEngine.from_spec(uniform_spec())
+        for value in values[: PERIOD * 5]:
+            oracle.process("m", float(value))
+        tail = [[("m", float(value))] for value in values[PERIOD * 5 :]]
+        _assert_continues_identically(recovered, oracle, tail)
+
+    def test_incremental_checkpoint_writes_only_dirty_cohorts(self, tmp_path):
+        data = make_fleet_data(12, length=PERIOD * 6)
+        batches = list(interleaved_batches(data))
+        engine = MultiSeriesEngine.open(tmp_path / "store", spec=uniform_spec())
+        engine.checkpoint_cohort_size = 4  # 12 series -> 3 cohorts
+        for batch in batches:
+            engine.ingest(batch)
+        full = engine.checkpoint()
+        assert full.cohorts_total == 3
+        assert full.cohorts_written == 3
+        assert full.series_written == 12
+
+        idle = engine.checkpoint()
+        assert idle.cohorts_written == 0
+        assert idle.series_written == 0
+
+        # Touch only the first cohort's series (first four keys seen).
+        dirty_keys = list(data)[:4]
+        for _ in range(3):
+            engine.ingest([(key, 0.5) for key in dirty_keys])
+        incremental = engine.checkpoint()
+        assert incremental.cohorts_written == 1
+        assert incremental.series_written == 4
+
+        # The clean cohorts' segment files survive untouched (their names
+        # still carry the full checkpoint's generation).
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        manifest = store.read_manifest()
+        generations = sorted(
+            int(cohort["segment"].split("-")[1]) for cohort in manifest["cohorts"]
+        )
+        assert generations == [full.generation, full.generation,
+                               incremental.generation]
+
+        # And recovery from the mixed-generation manifest still continues
+        # the stream bit-identically.
+        recovered = MultiSeriesEngine.open(store)
+        oracle = MultiSeriesEngine.from_spec(uniform_spec())
+        for batch in batches:
+            oracle.ingest(batch)
+        for _ in range(3):
+            oracle.ingest([(key, 0.5) for key in dirty_keys])
+        _assert_continues_identically(
+            recovered, oracle, [[(key, 1.0) for key in data] for _ in range(6)]
+        )
+
+    def test_marker_survives_failed_initialization_window(self, tmp_path):
+        """A discarded first window must not let a marker alias later.
+
+        When ``initialize()`` fails, the warmup window is discarded but
+        the series' ``points`` counter keeps the discarded values, so the
+        old index-based marker for kernel-absorbed series could collide
+        with a stale points-based marker taken on the scalar path --
+        making a dirty cohort look clean and silently truncating its WAL
+        coverage.  The uniform points-basis marker cannot alias.
+        """
+        data = make_fleet_data(10, length=PERIOD * 16)
+        batches = list(interleaved_batches(data))
+        engine = MultiSeriesEngine.open(tmp_path / "store", spec=uniform_spec())
+        engine.checkpoint_cohort_size = 1  # isolate the aliasing series
+        engine.fleet_kernel_enabled = False  # scalar path first
+
+        for batch in batches[: INIT - 1]:
+            engine.ingest(batch)
+        # Make the first key's batch initialization fail once: its window
+        # is discarded, points keeps counting, _index restarts later.
+        state = engine._series[list(data)[0]]
+        original_initialize = state.pipeline.initialize
+        state.pipeline.initialize = lambda window: (_ for _ in ()).throw(
+            ValueError("injected bad window")
+        )
+        with pytest.raises(ValueError, match="bad window"):
+            engine.ingest(batches[INIT - 1])
+        state.pipeline.initialize = original_initialize
+
+        cut = 2 * INIT + PERIOD  # everything live (first key re-warmed)
+        for batch in batches[INIT:cut]:
+            engine.ingest(batch)
+        assert all(s.live for s in engine._series.values())
+        engine.checkpoint()  # markers taken on the scalar path
+
+        # Kernel path on: absorption switches the per-series representation,
+        # then exactly INIT more rounds land on the old aliasing offset.
+        engine.fleet_kernel_enabled = True
+        for batch in batches[cut : cut + INIT]:
+            engine.ingest(batch)
+        summary = engine.checkpoint()
+        assert summary.cohorts_written == summary.cohorts_total == 10
+
+    def test_context_manager_checkpoints_on_clean_exit(self, tmp_path):
+        data = make_fleet_data(3)
+        batches = list(interleaved_batches(data))
+        with MultiSeriesEngine.open(tmp_path / "store", spec=uniform_spec()) as engine:
+            for batch in batches[: PERIOD * 5]:
+                engine.ingest(batch)
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        manifest = store.read_manifest()
+        assert manifest["generation"] == 1
+        # Clean close leaves an empty WAL: everything lives in segments.
+        assert list(store.wal_records(manifest["wal"])) == []
+        recovered = MultiSeriesEngine.open(store)
+        assert recovered.fleet_stats().points_total == PERIOD * 5 * 3
+
+    def test_spec_mismatch_on_recovery_is_rejected(self, tmp_path):
+        engine = MultiSeriesEngine.open(tmp_path / "store", spec=uniform_spec())
+        engine.close()
+        other = EngineSpec(
+            pipeline=PipelineSpec(
+                DecomposerSpec("oneshotstl", {"period": PERIOD + 1})
+            ),
+            initialization_length=INIT,
+        )
+        with pytest.raises(ValueError, match="different EngineSpec"):
+            MultiSeriesEngine.open(tmp_path / "store", spec=other)
+        # The matching spec (or none at all) is fine.
+        MultiSeriesEngine.open(tmp_path / "store", spec=uniform_spec()).close()
+
+    def test_attach_store_rejects_populated_store(self, tmp_path):
+        MultiSeriesEngine.open(tmp_path / "store", spec=uniform_spec()).close()
+        engine = MultiSeriesEngine.from_spec(uniform_spec())
+        with pytest.raises(ValueError, match="already holds a session"):
+            engine.attach_store(tmp_path / "store")
+
+    def test_attach_store_persists_existing_series(self, tmp_path):
+        """attach_store checkpoints pre-existing state by default."""
+        data = make_fleet_data(3)
+        engine = MultiSeriesEngine.from_spec(uniform_spec())
+        for batch in interleaved_batches(data):
+            engine.ingest(batch)
+        engine.attach_store(tmp_path / "store")
+        recovered = MultiSeriesEngine.open(tmp_path / "store")
+        assert recovered.keys() == engine.keys()
+        assert (
+            recovered.fleet_stats().points_total
+            == engine.fleet_stats().points_total
+        )
+
+    def test_reattach_to_fresh_store_writes_full_segments(self, tmp_path):
+        """A second store must not inherit segment references from the first.
+
+        Cohorts untouched since the first store's checkpoint are still
+        "clean" by marker, but their segments live in the *old* store --
+        re-attaching must rewrite everything into the new one.
+        """
+        data = make_fleet_data(3)
+        engine = MultiSeriesEngine.open(tmp_path / "store-a", spec=uniform_spec())
+        for batch in interleaved_batches(data):
+            engine.ingest(batch)
+        engine.close()  # checkpoints into store-a
+
+        engine.attach_store(tmp_path / "store-b")  # nothing ingested since
+        engine.close()
+        recovered = MultiSeriesEngine.open(tmp_path / "store-b")
+        assert (
+            recovered.fleet_stats().points_total
+            == engine.fleet_stats().points_total
+        )
+
+    def test_second_crash_after_torn_append_loses_nothing_replayed(
+        self, tmp_path
+    ):
+        """Recovery must truncate a torn WAL tail before appending.
+
+        Otherwise records appended after the torn bytes sit beyond the
+        readable prefix and a *second* crash silently drops them.
+        """
+        data = make_fleet_data(10)
+        batches = list(interleaved_batches(data))
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        engine = MultiSeriesEngine.open(store, spec=uniform_spec())
+        kill_at = PERIOD * 5
+        for batch in batches[:kill_at]:
+            engine.ingest(batch)
+        _arm(store, "wal.append.torn")
+        with pytest.raises(SimulatedCrash):
+            engine.ingest(batches[kill_at])
+
+        survivor = MultiSeriesEngine.open(
+            DirectoryCheckpointStore(tmp_path / "store")
+        )
+        extra = PERIOD
+        for batch in batches[kill_at + 1 : kill_at + 1 + extra]:
+            survivor.ingest(batch)
+        del survivor  # second crash, again without checkpoint or close
+
+        recovered = MultiSeriesEngine.open(
+            DirectoryCheckpointStore(tmp_path / "store")
+        )
+        assert (
+            recovered.fleet_stats().points_total == (kill_at + extra) * 10
+        )
+
+    def test_restore_raises_inside_a_durable_session(self, tmp_path):
+        engine = MultiSeriesEngine.open(tmp_path / "store", spec=uniform_spec())
+        checkpoint = engine.snapshot()
+        with pytest.raises(RuntimeError, match="write-ahead log"):
+            engine.restore(checkpoint)
+        engine.close()
+        engine.restore(checkpoint)  # fine once the session is closed
+
+    def test_auto_checkpoint_interval(self, tmp_path):
+        data = make_fleet_data(3)
+        batches = list(interleaved_batches(data))
+        engine = MultiSeriesEngine.open(tmp_path / "store", spec=uniform_spec())
+        engine.checkpoint_interval = 5
+        for batch in batches[:12]:
+            engine.ingest(batch)
+        # 12 WAL records with a 5-record interval: checkpointed at least twice,
+        # without any explicit checkpoint() call.
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        assert store.read_manifest()["generation"] >= 2
+
+    def test_replay_does_not_fabricate_latency_stats(self, tmp_path):
+        """WAL replay must not feed replay timings into the latency rings."""
+        values = make_seasonal_series(PERIOD * 6, PERIOD, seed=9)["values"]
+        engine = MultiSeriesEngine.open(tmp_path / "store", spec=uniform_spec())
+        for value in values:
+            engine.process("m", float(value))
+        recovered = MultiSeriesEngine.open(tmp_path / "store")
+        assert recovered.series_stats("m").latency is None
+        # Real post-recovery ingest records latencies again.
+        recovered.process("m", float(values[0]))
+        assert recovered.series_stats("m").latency is not None
+
+    def test_open_accepts_pathlike(self, tmp_path):
+        engine = MultiSeriesEngine.open(
+            PathLikeWrapper(tmp_path / "store"), spec=uniform_spec()
+        )
+        engine.process("m", 1.0)
+        engine.close()
+        recovered = MultiSeriesEngine.open(PathLikeWrapper(tmp_path / "store"))
+        assert recovered.keys() == ["m"]
+
+
+class TestDurabilityOracle:
+    """Kill-point injection: recovery equals replaying the surviving prefix.
+
+    Each scenario kills the engine at one injected crash window (via the
+    store's fault hook), reopens the store in a fresh context, and
+    compares against an oracle engine fed exactly the batches that were
+    durably recorded before the kill -- then streams both forward and
+    requires bit-identical records throughout.
+    """
+
+    WAL_POINTS = ["wal.append.before", "wal.append.torn", "wal.append.after"]
+    CHECKPOINT_POINTS = [
+        "segment.write.before",
+        "segment.write.tmp",
+        "manifest.swap.before",
+        "manifest.swap.tmp",
+        "manifest.swap.after",
+    ]
+
+    def _scenario(self, tmp_path):
+        data = make_fleet_data(10)
+        batches = list(interleaved_batches(data))
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        engine = MultiSeriesEngine.open(store, spec=uniform_spec())
+        return store, engine, batches
+
+    @pytest.mark.parametrize("point", WAL_POINTS)
+    def test_kill_during_wal_append(self, tmp_path, point):
+        store, engine, batches = self._scenario(tmp_path)
+        checkpoint_at, kill_at = PERIOD * 5, PERIOD * 6
+        for batch in batches[:checkpoint_at]:
+            engine.ingest(batch)
+        engine.checkpoint()
+        for batch in batches[checkpoint_at:kill_at]:
+            engine.ingest(batch)
+        _arm(store, point)
+        with pytest.raises(SimulatedCrash):
+            engine.ingest(batches[kill_at])
+
+        # A record is durable once fully appended: the batch survives the
+        # crash only if the kill hit *after* the append completed.
+        survived = kill_at + (1 if point == "wal.append.after" else 0)
+        recovered = MultiSeriesEngine.open(
+            DirectoryCheckpointStore(tmp_path / "store")
+        )
+        oracle = MultiSeriesEngine.from_spec(uniform_spec())
+        for batch in batches[:survived]:
+            oracle.ingest(batch)
+        _assert_continues_identically(recovered, oracle, batches[kill_at + 1 :])
+
+    @pytest.mark.parametrize("point", CHECKPOINT_POINTS)
+    def test_kill_during_checkpoint(self, tmp_path, point):
+        store, engine, batches = self._scenario(tmp_path)
+        first_checkpoint_at, kill_at = PERIOD * 5, PERIOD * 6
+        for batch in batches[:first_checkpoint_at]:
+            engine.ingest(batch)
+        engine.checkpoint()
+        for batch in batches[first_checkpoint_at:kill_at]:
+            engine.ingest(batch)
+        _arm(store, point)
+        with pytest.raises(SimulatedCrash):
+            engine.checkpoint()
+
+        # Whether the interrupted checkpoint committed (manifest swapped)
+        # or not (previous manifest + full WAL), the recovered state must
+        # equal everything ingested before the kill.
+        recovered = MultiSeriesEngine.open(
+            DirectoryCheckpointStore(tmp_path / "store")
+        )
+        oracle = MultiSeriesEngine.from_spec(uniform_spec())
+        for batch in batches[:kill_at]:
+            oracle.ingest(batch)
+        _assert_continues_identically(recovered, oracle, batches[kill_at:])
+
+
+class TestV1Migration:
+    def test_v1_checkpoint_loads_and_continues_bit_identically(self, tmp_path):
+        data = make_fleet_data(3)
+        batches = list(interleaved_batches(data))
+        engine = MultiSeriesEngine.from_spec(heterogeneous_spec())
+        cut = PERIOD * 6
+        for batch in batches[:cut]:
+            engine.ingest(batch)
+        path = tmp_path / "fleet.ckpt"
+        engine.save(path)
+
+        # Rewrite the file as a version-1 checkpoint (the pre-durability
+        # format had no generation field).
+        with open(path, "rb") as stream:
+            payload = pickle.load(stream)
+        payload["format_version"] = 1
+        payload.pop("generation")
+        with open(path, "wb") as stream:
+            pickle.dump(payload, stream)
+
+        restored = MultiSeriesEngine.load(path)
+        uninterrupted = [engine.ingest(batch) for batch in batches[cut:]]
+        migrated = [restored.ingest(batch) for batch in batches[cut:]]
+        for expected_batch, actual_batch in zip(uninterrupted, migrated):
+            assert [r.record for r in expected_batch] == [
+                r.record for r in actual_batch
+            ]
+
+
+class TestAtomicSaveAndErrors:
+    def test_crashed_save_leaves_previous_checkpoint_intact(
+        self, tmp_path, monkeypatch
+    ):
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        values = make_seasonal_series(PERIOD * 6, PERIOD, seed=50)["values"]
+        for value in values:
+            engine.process("m", float(value))
+        path = tmp_path / "fleet.ckpt"
+        engine.save(path)
+        points_at_save = engine.series_stats("m").points
+
+        engine.process("m", 1.0)
+
+        def exploding_replace(src, dst):
+            raise SimulatedCrash("mid-save")
+
+        import repro.durability.store as store_module
+
+        monkeypatch.setattr(store_module.os, "replace", exploding_replace)
+        with pytest.raises(SimulatedCrash):
+            engine.save(path)
+        monkeypatch.undo()
+
+        restored = MultiSeriesEngine.load(path)
+        assert restored.series_stats("m").points == points_at_save
+
+    def test_version_mismatch_error_names_file_found_and_expected(
+        self, tmp_path
+    ):
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        path = tmp_path / "fleet.ckpt"
+        engine.save(path)
+        with open(path, "rb") as stream:
+            payload = pickle.load(stream)
+        payload["format_version"] = CHECKPOINT_FORMAT_VERSION + 7
+        with open(path, "wb") as stream:
+            pickle.dump(payload, stream)
+        with pytest.raises(ValueError) as error:
+            MultiSeriesEngine.load(path)
+        message = str(error.value)
+        assert str(path) in message
+        assert str(CHECKPOINT_FORMAT_VERSION + 7) in message
+        assert str(CHECKPOINT_FORMAT_VERSION) in message
+
+    def test_unreadable_checkpoint_names_the_file(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        path.write_bytes(b"certainly not a pickle")
+        with pytest.raises(CorruptCheckpointError) as error:
+            MultiSeriesEngine.load(path)
+        assert str(path) in str(error.value)
+
+    def test_save_and_load_accept_pathlike(self, tmp_path):
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, shift_window=0)
+        values = make_seasonal_series(PERIOD * 5, PERIOD, seed=51)["values"]
+        for value in values:
+            engine.process("m", float(value))
+        wrapped = PathLikeWrapper(tmp_path / "fleet.ckpt")
+        engine.save(wrapped)
+        restored = MultiSeriesEngine.load(wrapped)
+        assert restored.series_stats("m").points == len(values)
+
+
+class TestBatchedStateExport:
+    """The cohort-granular kernel export equals the per-member path."""
+
+    def test_sync_members_matches_sync_series(self):
+        data = make_fleet_data(10, length=PERIOD * 6)
+        batches = list(interleaved_batches(data))
+        batched_engine = MultiSeriesEngine.from_spec(uniform_spec())
+        member_engine = MultiSeriesEngine.from_spec(uniform_spec())
+        for batch in batches:
+            batched_engine.ingest(batch)
+            member_engine.ingest(batch)
+        assert batched_engine._absorbed, "fleet kernel should have engaged"
+
+        # One engine materializes via the batched export (snapshot uses
+        # _sync_keys -> sync_members), the other via per-member syncs.
+        for key, (group, column) in member_engine._absorbed.items():
+            group.sync_series(column, member_engine._series[key])
+        batched = batched_engine.snapshot()
+        for key in member_engine.keys():
+            expected = member_engine._series[key].pipeline
+            actual = batched[key].pipeline
+            assert actual._index == expected._index
+            assert np.array_equal(
+                actual.decomposer._seasonal_buffer,
+                expected.decomposer._seasonal_buffer,
+            )
+            assert actual.decomposer._last_trend == expected.decomposer._last_trend
+            assert actual.scorer._mean == expected.scorer._mean
+            assert actual.scorer._m2 == expected.scorer._m2
+            for mine, theirs in zip(
+                actual.decomposer._iterations_state,
+                expected.decomposer._iterations_state,
+            ):
+                assert mine.solver._m_trail == theirs.solver._m_trail
+                assert mine.solver._bp_trail == theirs.solver._bp_trail
+                assert mine.solver.size == theirs.solver.size
+                assert mine.previous_trend == theirs.previous_trend
 
 
 class TestSeriesStatusEnum:

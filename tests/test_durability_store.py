@@ -1,0 +1,314 @@
+"""Unit tests of the checkpoint-store layer (no engine involved).
+
+The durability subsystem's crash-safety rests on two store-level
+invariants -- atomic blob replacement and complete-prefix WAL reads --
+and this module pins them directly: torn WAL tails, interrupted renames,
+corrupt manifests, reopen-and-append semantics.  The engine-level
+recovery oracle (``tests/test_checkpoint.py``) builds on exactly these
+guarantees.
+"""
+
+import pickle
+
+import pytest
+
+from tests.conftest import PathLikeWrapper, SimulatedCrash
+
+from repro.durability import (
+    CheckpointVersionError,
+    CorruptCheckpointError,
+    DirectoryCheckpointStore,
+    SingleSnapshotStore,
+    atomic_write_bytes,
+    migrate_snapshot_payload,
+)
+from repro.durability.format import (
+    CHECKPOINT_FORMAT_VERSION,
+    build_manifest,
+    decode_wal_record,
+    encode_wal_record,
+    validate_manifest,
+    wal_name,
+)
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "blob"
+        atomic_write_bytes(path, b"one")
+        atomic_write_bytes(path, b"two")
+        assert path.read_bytes() == b"two"
+        assert list(tmp_path.iterdir()) == [path]  # no tmp residue
+
+    def test_crash_before_replace_keeps_old_content(self, tmp_path):
+        path = tmp_path / "blob"
+        atomic_write_bytes(path, b"old")
+
+        def boom():
+            raise SimulatedCrash("pre-replace")
+
+        with pytest.raises(SimulatedCrash):
+            atomic_write_bytes(path, b"new", pre_replace_hook=boom)
+        assert path.read_bytes() == b"old"
+
+
+class TestWal:
+    def test_append_and_read_round_trip(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        store.wal_start(wal_name(0))
+        records = [b"alpha", b"beta" * 100, b""]
+        for record in records:
+            store.wal_append(record)
+        store.close()
+        fresh = DirectoryCheckpointStore(tmp_path / "store")
+        assert list(fresh.wal_records(wal_name(0))) == records
+
+    def test_torn_tail_is_dropped(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        store.wal_start(wal_name(0))
+        store.wal_append(b"kept")
+
+        def hook(point):
+            if point == "wal.append.torn":
+                raise SimulatedCrash(point)
+
+        store.fault_hook = hook
+        with pytest.raises(SimulatedCrash):
+            store.wal_append(b"lost-in-flight")
+        store.close()
+        fresh = DirectoryCheckpointStore(tmp_path / "store")
+        assert list(fresh.wal_records(wal_name(0))) == [b"kept"]
+
+    def test_flipped_byte_ends_the_prefix(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        store.wal_start(wal_name(0))
+        store.wal_append(b"first")
+        store.wal_append(b"second")
+        store.close()
+        path = tmp_path / "store" / "wal" / wal_name(0)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # corrupt the last payload byte
+        path.write_bytes(bytes(data))
+        fresh = DirectoryCheckpointStore(tmp_path / "store")
+        assert list(fresh.wal_records(wal_name(0))) == [b"first"]
+
+    def test_reopen_appends_after_existing_records(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        store.wal_start(wal_name(0))
+        store.wal_append(b"one")
+        store.close()
+        again = DirectoryCheckpointStore(tmp_path / "store")
+        again.wal_start(wal_name(0))
+        again.wal_append(b"two")
+        assert list(again.wal_records(wal_name(0))) == [b"one", b"two"]
+
+    def test_wal_start_truncates_torn_tail_before_appending(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        store.wal_start(wal_name(0))
+        store.wal_append(b"kept")
+
+        def hook(point):
+            if point == "wal.append.torn":
+                raise SimulatedCrash(point)
+
+        store.fault_hook = hook
+        with pytest.raises(SimulatedCrash):
+            store.wal_append(b"torn-away")
+        store.close()
+
+        # Reopen-and-append must land the new record *inside* the readable
+        # prefix, not beyond the torn bytes.
+        again = DirectoryCheckpointStore(tmp_path / "store")
+        again.wal_start(wal_name(0))
+        again.wal_append(b"after-recovery")
+        assert list(again.wal_records(wal_name(0))) == [b"kept", b"after-recovery"]
+
+    def test_append_after_in_session_failure_recovers_the_tail(self, tmp_path):
+        """A failed append must not strand later appends beyond torn bytes.
+
+        If write() dies mid-frame (I/O error) and the *same* store object
+        keeps appending -- the caller survived the exception -- the next
+        append must truncate the torn bytes first, or every later record
+        would sit outside the readable prefix and vanish at recovery.
+        """
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        store.wal_start(wal_name(0))
+        store.wal_append(b"kept")
+
+        def hook(point):
+            if point == "wal.append.torn":
+                store.fault_hook = None
+                raise SimulatedCrash(point)
+
+        store.fault_hook = hook
+        with pytest.raises(SimulatedCrash):
+            store.wal_append(b"lost-in-flight")
+        store.wal_append(b"after-the-error")  # same session, same handle
+        assert list(store.wal_records(wal_name(0))) == [
+            b"kept",
+            b"after-the-error",
+        ]
+
+    def test_stale_tmp_files_swept_on_open(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store")
+
+        def hook(point):
+            if point == "segment.write.tmp":
+                raise SimulatedCrash(point)
+
+        store.fault_hook = hook
+        with pytest.raises(SimulatedCrash):
+            store.write_segment("seg-x", b"payload")
+        leftovers = list((tmp_path / "store" / "segments").glob("*.tmp"))
+        assert leftovers, "the crash should have left a tmp file behind"
+
+        DirectoryCheckpointStore(tmp_path / "store")  # reopen sweeps
+        assert not list((tmp_path / "store" / "segments").glob("*.tmp"))
+
+    def test_sweep_leaves_unrelated_root_files_alone(self, tmp_path):
+        root = tmp_path / "store"
+        root.mkdir()
+        unrelated = root / "export.tmp"
+        unrelated.write_text("someone else's scratch file")
+        DirectoryCheckpointStore(root)
+        assert unrelated.exists()
+
+    def test_missing_segment_yields_nothing(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        assert list(store.wal_records(wal_name(7))) == []
+
+    def test_open_segment_cannot_be_deleted(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        store.wal_start(wal_name(0))
+        with pytest.raises(ValueError, match="open WAL"):
+            store.wal_delete(wal_name(0))
+
+    def test_append_requires_open_segment(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        with pytest.raises(RuntimeError, match="wal_start"):
+            store.wal_append(b"record")
+
+
+class TestManifestAndSegments:
+    def test_empty_store_has_no_manifest(self, tmp_path):
+        assert DirectoryCheckpointStore(tmp_path / "store").read_manifest() is None
+
+    def test_manifest_round_trip(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        manifest = build_manifest(3, {"fake": "spec"}, [], wal_name(3))
+        store.write_manifest(manifest)
+        assert store.read_manifest() == manifest
+
+    def test_corrupt_manifest_names_the_file(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        store.manifest_path.write_text("{not json")
+        with pytest.raises(CorruptCheckpointError) as error:
+            store.read_manifest()
+        assert "MANIFEST.json" in str(error.value)
+        assert "JSON" in str(error.value)
+
+    def test_manifest_version_mismatch_says_found_and_expected(self, tmp_path):
+        manifest = build_manifest(0, {}, [], wal_name(0))
+        manifest["format_version"] = 99
+        with pytest.raises(CheckpointVersionError) as error:
+            validate_manifest(manifest, "some/store")
+        message = str(error.value)
+        assert "some/store" in message
+        assert "99" in message
+        assert str(CHECKPOINT_FORMAT_VERSION) in message
+        assert "format_version" in message
+
+    def test_manifest_missing_keys_lists_them(self, tmp_path):
+        with pytest.raises(CorruptCheckpointError, match="cohorts"):
+            validate_manifest(
+                {"format_version": CHECKPOINT_FORMAT_VERSION}, "store"
+            )
+
+    def test_segment_round_trip_and_listing(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        store.write_segment("seg-a", b"payload-a")
+        store.write_segment("seg-b", b"payload-b")
+        assert store.read_segment("seg-a") == b"payload-a"
+        assert store.list_segments() == ["seg-a", "seg-b"]
+        store.delete_segment("seg-a")
+        store.delete_segment("seg-a")  # idempotent
+        assert store.list_segments() == ["seg-b"]
+
+    def test_missing_segment_is_a_corruption_error(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        with pytest.raises(CorruptCheckpointError, match="seg-gone"):
+            store.read_segment("seg-gone")
+
+    def test_segment_names_must_be_bare(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        with pytest.raises(ValueError, match="bare"):
+            store.write_segment("../escape", b"x")
+
+    def test_pathlike_root(self, tmp_path):
+        store = DirectoryCheckpointStore(PathLikeWrapper(tmp_path / "store"))
+        store.write_segment("seg", b"x")
+        assert store.read_segment("seg") == b"x"
+
+
+class TestWalRecordCodec:
+    def test_round_trip(self):
+        payload = encode_wal_record("rows", ["k"], [1.0])
+        assert decode_wal_record(payload, "wal") == ("rows", ["k"], [1.0])
+
+    def test_garbage_names_the_source(self):
+        with pytest.raises(CorruptCheckpointError, match="wal-file"):
+            decode_wal_record(b"\x00garbage", "wal-file")
+
+    def test_non_tuple_payload_rejected(self):
+        with pytest.raises(CorruptCheckpointError, match="kind"):
+            decode_wal_record(pickle.dumps({"not": "a tuple"}), "wal-file")
+
+
+class TestSnapshotMigration:
+    def test_v1_payload_upgrades_in_place(self):
+        migrated = migrate_snapshot_payload(
+            {"format_version": 1, "engine_spec": {}, "series": {}}, "ckpt"
+        )
+        assert migrated["format_version"] == CHECKPOINT_FORMAT_VERSION
+        assert migrated["generation"] == 0
+
+    def test_future_version_names_everything(self):
+        with pytest.raises(CheckpointVersionError) as error:
+            migrate_snapshot_payload({"format_version": 42}, "some.ckpt")
+        message = str(error.value)
+        assert "some.ckpt" in message and "42" in message
+        assert str(CHECKPOINT_FORMAT_VERSION) in message
+
+    def test_non_mapping_payload_rejected(self):
+        with pytest.raises(CorruptCheckpointError, match="format_version"):
+            migrate_snapshot_payload(["not", "a", "dict"], "some.ckpt")
+
+
+class TestSingleSnapshotStore:
+    def test_round_trip(self, tmp_path):
+        store = SingleSnapshotStore(tmp_path / "snap.ckpt")
+        store.write({"format_version": CHECKPOINT_FORMAT_VERSION})
+        assert store.read() == {"format_version": CHECKPOINT_FORMAT_VERSION}
+
+    def test_crash_mid_write_keeps_previous_snapshot(self, tmp_path):
+        store = SingleSnapshotStore(tmp_path / "snap.ckpt")
+        store.write({"value": "old"})
+
+        def boom():
+            raise SimulatedCrash("mid-save")
+
+        with pytest.raises(SimulatedCrash):
+            store.write({"value": "new"}, pre_replace_hook=boom)
+        assert store.read() == {"value": "old"}
+
+    def test_unreadable_pickle_names_the_file(self, tmp_path):
+        path = tmp_path / "snap.ckpt"
+        path.write_bytes(b"this is not a pickle")
+        with pytest.raises(CorruptCheckpointError) as error:
+            SingleSnapshotStore(path).read()
+        assert str(path) in str(error.value)
+
+    def test_accepts_pathlike(self, tmp_path):
+        store = SingleSnapshotStore(PathLikeWrapper(tmp_path / "snap.ckpt"))
+        store.write({"ok": True})
+        assert SingleSnapshotStore(tmp_path / "snap.ckpt").read() == {"ok": True}
