@@ -1,0 +1,25 @@
+"""Static enforcement of the codebase's hand-maintained invariants.
+
+The engine's performance and durability rest on contracts that no test
+exercises directly: the fleet kernel must not allocate per point, every
+durable mutation must happen *after* its WAL append, every component must
+be registered and spec-round-trippable, and hot state carriers must be
+slotted.  This package turns each contract into a checkable rule:
+
+* ``python -m repro.analysis [paths]`` lints the tree and exits non-zero
+  on any finding (``path:line: RULE-ID message``);
+* ``tests/test_analysis_clean.py`` runs the same pass as a tier-1 test;
+* a finding is silenced only by an inline comment that states why::
+
+      # repro: allow[HP001] cold path: runs once per warmup round
+
+The rules themselves live in ``rules_*`` modules; :mod:`.engine` walks
+files, applies suppressions and aggregates findings.  This ``__init__``
+stays import-light on purpose -- hot modules import :func:`hotpath` from
+here, so it must not pull in the analysis machinery (or anything heavy).
+"""
+
+from repro.analysis.findings import RULES, Finding
+from repro.analysis.markers import hotpath
+
+__all__ = ["Finding", "RULES", "hotpath"]

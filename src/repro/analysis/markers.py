@@ -1,0 +1,27 @@
+"""Source markers read by the static-analysis rules.
+
+:func:`hotpath` is a do-nothing decorator: it exists so that the purity
+rules (:mod:`repro.analysis.rules_hotpath`) can find the functions whose
+inner loops must stay allocation-free by looking at the AST alone.  It
+adds no call overhead -- the function object is returned unchanged, with
+only a ``__hotpath__`` attribute stamped on for runtime introspection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["hotpath"]
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def hotpath(func: _F) -> _F:
+    """Mark ``func`` as engine hot path (enforced by ``repro.analysis``).
+
+    Marked functions may not, per the HP00x rules: allocate containers
+    inside loops, re-resolve ``a.b.c`` attribute chains inside loops,
+    enter ``try``/``except`` inside loops, or forward ``**kwargs``.
+    """
+    setattr(func, "__hotpath__", True)
+    return func

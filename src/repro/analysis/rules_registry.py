@@ -1,0 +1,169 @@
+"""REG001 / REG002: registry and spec coverage (import-time rule).
+
+Unlike the AST rules this one imports the live component packages and
+introspects the class hierarchy, because registration *is* an import-time
+effect -- no syntactic check can see whether a ``@register_detector``
+decorator actually ran.
+
+* **REG001** -- every concrete subclass of the component bases
+  (:class:`~repro.decomposition.base.OnlineDecomposer`,
+  :class:`~repro.anomaly.base.AnomalyDetector`,
+  :class:`~repro.forecasting.base.Forecaster`) defined under ``repro.*``
+  must be registered in some registry namespace.  A class whose *subclass*
+  is registered is exempt: intermediate adapter bases (``STDDetector``,
+  ``WindowedDecomposer``) are reachable through their registered leaves.
+* **REG002** -- for every registered component of a spec-backed namespace
+  (decomposer / scorer / forecaster), a spec built from the component's
+  primitive constructor defaults must survive
+  ``to_dict`` -> ``from_dict`` -> ``to_dict`` as a fixed point.  This is
+  the portability contract the engine checkpoint format relies on.
+
+Findings carry the source location of the offending *class*, so the
+standard inline suppressions apply (placed on or directly above the
+``class`` line).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+
+__all__ = ["check_registry"]
+
+
+def _location(cls: type) -> tuple[str, int]:
+    try:
+        path = inspect.getsourcefile(cls) or "<unknown>"
+        line = inspect.getsourcelines(cls)[1]
+    except (OSError, TypeError):  # pragma: no cover - C extensions etc.
+        return "<unknown>", 1
+    return path, line
+
+
+def _walk_subclasses(cls: type) -> list[type]:
+    out: list[type] = []
+    for sub in cls.__subclasses__():
+        out.append(sub)
+        out.extend(_walk_subclasses(sub))
+    return out
+
+
+def _registered_name(registry, kinds: tuple[str, ...], cls: type) -> str | None:
+    for kind in kinds:
+        name = registry.component_name(kind, cls)
+        if name is not None:
+            return f"{kind}:{name}"
+    return None
+
+
+def _primitive_ctor_defaults(cls: type) -> dict:
+    """The constructor parameters that have primitive defaults."""
+    try:
+        signature = inspect.signature(cls.__init__)
+    except (TypeError, ValueError):  # pragma: no cover - builtins
+        return {}
+    params = {}
+    for parameter in signature.parameters.values():
+        if parameter.name == "self":
+            continue
+        default = parameter.default
+        if default is inspect.Parameter.empty:
+            continue
+        if isinstance(default, (bool, int, float, str)):
+            params[parameter.name] = default
+        elif isinstance(default, tuple) and all(
+            isinstance(item, (bool, int, float, str)) for item in default
+        ):
+            params[parameter.name] = list(default)
+    return params
+
+
+def check_registry(extra_classes: Iterable[type] = ()) -> list[Finding]:
+    """Run REG001/REG002 against the live ``repro`` component hierarchy.
+
+    ``extra_classes`` lets tests inject subclasses defined outside the
+    ``repro.*`` module namespace (which the repo-wide scan ignores).
+    """
+    from repro import registry, specs
+    from repro.anomaly.base import AnomalyDetector
+    from repro.decomposition.base import OnlineDecomposer
+    from repro.forecasting.base import Forecaster
+
+    kinds = (
+        registry.DECOMPOSER,
+        registry.SCORER,
+        registry.DETECTOR,
+        registry.FORECASTER,
+    )
+    for kind in kinds:  # force the lazy built-in registrations
+        registry.available(kind)
+
+    extra = set(extra_classes)
+    findings: list[Finding] = []
+    seen: set[type] = set()
+    for base in (OnlineDecomposer, AnomalyDetector, Forecaster):
+        for cls in _walk_subclasses(base):
+            if cls in seen:
+                continue
+            seen.add(cls)
+            if not (cls.__module__.startswith("repro.") or cls in extra):
+                continue
+            if inspect.isabstract(cls):
+                continue
+            if _registered_name(registry, kinds, cls) is not None:
+                continue
+            if any(
+                _registered_name(registry, kinds, sub) is not None
+                for sub in _walk_subclasses(cls)
+            ):
+                continue  # adapter base reachable through a registered leaf
+            path, line = _location(cls)
+            findings.append(
+                Finding(
+                    path,
+                    line,
+                    "REG001",
+                    f"concrete component subclass {cls.__name__} of "
+                    f"{base.__name__} is not registered in any registry "
+                    "namespace (and has no registered subclass)",
+                )
+            )
+
+    spec_backed = (
+        (registry.DECOMPOSER, specs.DecomposerSpec),
+        (registry.SCORER, specs.DetectorSpec),
+        (registry.FORECASTER, specs.ForecasterSpec),
+    )
+    for kind, spec_class in spec_backed:
+        for name in registry.available(kind):
+            cls = registry.get_component(kind, name)
+            path, line = _location(cls)
+            try:
+                spec = spec_class(name=name, params=_primitive_ctor_defaults(cls))
+                first = spec.to_dict()
+                second = spec_class.from_dict(first).to_dict()
+            except Exception as error:  # noqa: BLE001 - report, don't crash
+                findings.append(
+                    Finding(
+                        path,
+                        line,
+                        "REG002",
+                        f"{spec_class.__name__}({name!r}) round-trip raised "
+                        f"{type(error).__name__}: {error}",
+                    )
+                )
+                continue
+            if first != second:
+                findings.append(
+                    Finding(
+                        path,
+                        line,
+                        "REG002",
+                        f"{spec_class.__name__}({name!r}) is not a "
+                        "to_dict->from_dict->to_dict fixed point: "
+                        f"{first!r} != {second!r}",
+                    )
+                )
+    return findings

@@ -1,0 +1,137 @@
+"""SLOTS001 / SPEC001: structural discipline rules.
+
+* **SLOTS001** -- dataclasses defined under ``core/``, ``solvers/`` or
+  ``streaming/`` must declare ``slots=True``.  These are the modules whose
+  instances exist per series or per point; a ``__dict__`` per instance is
+  measurable memory and lookup overhead at fleet scale (PR 4 slotted the
+  record types for exactly this reason).
+* **SPEC001** -- dataclass fields in ``repro/specs.py`` may only be
+  annotated as JSON primitives (``str``/``int``/``float``/``bool``/
+  ``dict``/``list``/``tuple``, unions and subscripts thereof) or nested
+  spec types (``*Spec``).  The spec layer's portability guarantee -- a
+  spec is pure data that survives JSON -- is only as strong as its field
+  types.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePath
+
+from repro.analysis.findings import Finding
+
+__all__ = ["check"]
+
+_SLOTTED_DIRS = frozenset({"core", "solvers", "streaming"})
+_PRIMITIVES = frozenset({"str", "int", "float", "bool", "dict", "list", "tuple"})
+
+
+def _dataclass_decorator(cls: ast.ClassDef) -> ast.expr | ast.Call | None:
+    for decorator in cls.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return decorator
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return decorator
+    return None
+
+
+def _declares_slots(decorator: ast.expr) -> bool:
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == "slots":
+            return (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            )
+    return False
+
+
+def _check_slots(tree: ast.AST, path: str, findings: list[Finding]) -> None:
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        decorator = _dataclass_decorator(cls)
+        if decorator is None:
+            continue
+        if not _declares_slots(decorator):
+            findings.append(
+                Finding(
+                    path,
+                    cls.lineno,
+                    "SLOTS001",
+                    f"dataclass {cls.name} in a hot module must declare "
+                    "slots=True (per-instance __dict__ costs memory and "
+                    "lookups at fleet scale)",
+                )
+            )
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    target = annotation.value if isinstance(annotation, ast.Subscript) else annotation
+    if isinstance(target, ast.Name):
+        return target.id == "ClassVar"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "ClassVar"
+    return False
+
+
+def _allowed_spec_annotation(annotation: ast.expr) -> bool:
+    if isinstance(annotation, ast.Constant):
+        # None (in unions) or a string forward reference to a spec type
+        if annotation.value is None:
+            return True
+        return isinstance(annotation.value, str) and annotation.value.endswith(
+            "Spec"
+        )
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _PRIMITIVES or annotation.id.endswith("Spec")
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr.endswith("Spec")
+    if isinstance(annotation, ast.Subscript):
+        if not _allowed_spec_annotation(annotation.value):
+            return False
+        inner = annotation.slice
+        parts = inner.elts if isinstance(inner, ast.Tuple) else [inner]
+        return all(_allowed_spec_annotation(part) for part in parts)
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        return _allowed_spec_annotation(annotation.left) and _allowed_spec_annotation(
+            annotation.right
+        )
+    return False
+
+
+def _check_spec_fields(tree: ast.AST, path: str, findings: list[Finding]) -> None:
+    for cls in ast.walk(tree):
+        if not isinstance(cls, ast.ClassDef) or _dataclass_decorator(cls) is None:
+            continue
+        for stmt in cls.body:
+            if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+                stmt.target, ast.Name
+            ):
+                continue
+            if _is_classvar(stmt.annotation):
+                continue
+            if not _allowed_spec_annotation(stmt.annotation):
+                findings.append(
+                    Finding(
+                        path,
+                        stmt.lineno,
+                        "SPEC001",
+                        f"spec field {cls.name}.{stmt.target.id} is annotated "
+                        f"'{ast.unparse(stmt.annotation)}'; spec fields must "
+                        "be JSON primitives or nested *Spec types",
+                    )
+                )
+
+
+def check(tree: ast.AST, path: str) -> list[Finding]:
+    """Run the structural rules that apply to ``path``."""
+    findings: list[Finding] = []
+    parts = PurePath(path).parts
+    if _SLOTTED_DIRS & set(parts):
+        _check_slots(tree, path, findings)
+    if parts and parts[-1] == "specs.py":
+        _check_spec_fields(tree, path, findings)
+    return findings

@@ -1,0 +1,116 @@
+"""Inline suppression comments: ``# repro: allow[RULE-ID] reason``.
+
+A suppression silences findings of exactly one rule on exactly one line:
+its own line when it trails code, or -- when it stands alone -- the next
+code line (blank lines and the rest of the comment block are skipped, so
+a multi-line reason is fine)::
+
+    self._frobnicate(**options)  # repro: allow[HP004] cold config path
+
+    # repro: allow[HP001] cold path: runs once per warmup round
+    entries = [(key, base + j) for j, key in enumerate(round_keys)]
+
+The reason is mandatory (SUP002) and the rule id must exist (SUP001);
+those two meta-findings can never themselves be suppressed, so a stale or
+sloppy suppression always surfaces.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+from repro.analysis.findings import RULES, Finding
+
+__all__ = ["Suppression", "collect_suppressions", "filter_findings"]
+
+_ALLOW = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]\s*(.*)$")
+
+
+@dataclass(frozen=True, slots=True)
+class Suppression:
+    """One parsed ``allow`` comment."""
+
+    path: str
+    line: int
+    rule: str
+    reason: str
+    #: the source line whose findings this suppression silences
+    target_line: int
+
+
+def _iter_comments(source: str):
+    """Yield ``(row, col, text)`` for every comment token in ``source``."""
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        # Unterminated source: the AST pass reports PARSE001; any comments
+        # yielded before the error still count.
+        return
+
+
+def collect_suppressions(
+    source: str, path: str
+) -> tuple[list[Suppression], list[Finding]]:
+    """Parse every ``allow`` comment, returning them plus meta-findings."""
+    lines = source.splitlines()
+    suppressions: list[Suppression] = []
+    findings: list[Finding] = []
+    for row, col, text in _iter_comments(source):
+        match = _ALLOW.search(text)
+        if match is None:
+            continue
+        rule = match.group(1).strip()
+        reason = match.group(2).strip()
+        if rule not in RULES:
+            findings.append(
+                Finding(
+                    path,
+                    row,
+                    "SUP001",
+                    f"suppression names unknown rule id {rule!r} "
+                    f"(known: {', '.join(sorted(RULES))})",
+                )
+            )
+            continue
+        if not reason:
+            findings.append(
+                Finding(
+                    path,
+                    row,
+                    "SUP002",
+                    f"suppression of {rule} must state a reason after the ']'",
+                )
+            )
+            continue
+        standalone = row <= len(lines) and not lines[row - 1][:col].strip()
+        target = row
+        if standalone:
+            # cover the next code line, skipping the rest of the comment
+            # block and any blank lines in between
+            target = row + 1
+            while target <= len(lines) and (
+                not lines[target - 1].strip()
+                or lines[target - 1].lstrip().startswith("#")
+            ):
+                target += 1
+        suppressions.append(Suppression(path, row, rule, reason, target))
+    return suppressions, findings
+
+
+def filter_findings(
+    findings: list[Finding], suppressions: list[Suppression]
+) -> list[Finding]:
+    """Drop findings covered by a suppression (SUP findings never are)."""
+    covered = {(s.rule, s.target_line) for s in suppressions}
+    return [
+        finding
+        for finding in findings
+        if finding.rule.startswith("SUP")
+        or (finding.rule, finding.line) not in covered
+    ]

@@ -19,6 +19,9 @@ from repro.utils import check_positive_int
 __all__ = ["PrefilteredDampDetector"]
 
 
+# repro: allow[REG001] wraps a live prefilter detector instance (not a
+# primitive parameter), so it cannot be built from a spec; it is composed
+# explicitly by the Table 4 benchmark harness instead.
 class PrefilteredDampDetector(AnomalyDetector):
     """Use a cheap detector to select candidates, then re-score them with DAMP.
 

@@ -48,6 +48,7 @@ from repro.core.oneshotstl import (
     _IterationState,
     _search_best_shift,
 )
+from repro.analysis import hotpath
 from repro.core.online_system import HALF_BANDWIDTH, ContributionWorkspace
 from repro.solvers.batched_ldlt import BatchedIncrementalLDLT
 from repro.utils import amortized_append
@@ -180,6 +181,7 @@ class ColumnarNSigma:
         self.mean[columns] = other.mean
         self.m2[columns] = other.m2
 
+    @hotpath
     def score(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Score without updating; returns ``(scores, is_anomaly)`` arrays."""
         variance = self.m2 / np.maximum(self.count, 1)
@@ -193,6 +195,7 @@ class ColumnarNSigma:
             scores = np.where(fresh, 0.0, scores)
         return scores, scores > self.threshold
 
+    @hotpath
     def update(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Score then fold ``values`` into the running Welford statistics."""
         scores, flags = self.score(values)
@@ -548,6 +551,7 @@ class FleetKernel:
 
     # -------------------------------------------------------------- streaming
 
+    @hotpath
     def update(
         self, values: np.ndarray, columns: np.ndarray | None = None
     ) -> FleetUpdate:
@@ -635,6 +639,7 @@ class FleetKernel:
 
     # ------------------------------------------------------------- internals
 
+    @hotpath
     def _advance_batched(
         self, values: np.ndarray, anchor: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
@@ -676,10 +681,9 @@ class FleetKernel:
             pattern_values[10] = -2.0 * second_weight
             pattern_values[11] = second_weight
             pattern_values[12] = -2.0 * second_weight
-            state.solver.extend(
-                2, _PATTERN_ROWS, _PATTERN_COLS, pattern_t, rhs_t
-            )
-            tail = state.solver.tail_solution(2)
+            solver = state.solver
+            solver.extend(2, _PATTERN_ROWS, _PATTERN_COLS, pattern_t, rhs_t)
+            tail = solver.tail_solution(2)
             trend = tail[:, 0]
             seasonal = tail[:, 1]
             next_p = 0.5 / np.maximum(np.abs(trend - state.previous_trend), epsilon)

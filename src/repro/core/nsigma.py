@@ -32,7 +32,7 @@ from repro.utils import as_float_array, check_positive
 __all__ = ["NSigma", "NSigmaVerdict"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NSigmaVerdict:
     """Outcome of scoring a single value."""
 

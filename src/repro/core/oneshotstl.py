@@ -44,7 +44,7 @@ from repro.utils import as_float_array, check_period, check_positive, check_posi
 __all__ = ["OneShotSTL"]
 
 
-@dataclass
+@dataclass(slots=True)
 class _IterationState:
     """Per-IRLS-iteration online state (one incremental system per iteration)."""
 

@@ -38,7 +38,7 @@ import os
 import struct
 import zlib
 from pathlib import Path
-from typing import Iterator
+from typing import BinaryIO, Callable, Iterator
 
 from repro.durability.errors import CorruptCheckpointError
 from repro.durability.store import (
@@ -72,7 +72,7 @@ class DirectoryCheckpointStore(CheckpointStore):
         ``fsync`` every append, trading throughput for power-loss safety.
     """
 
-    def __init__(self, root, wal_sync: bool = False):
+    def __init__(self, root: str | os.PathLike, wal_sync: bool = False):
         self.root = Path(os.fspath(root))
         self.wal_sync = bool(wal_sync)
         self._segments = self.root / _SEGMENT_DIRECTORY
@@ -97,7 +97,7 @@ class DirectoryCheckpointStore(CheckpointStore):
                     leftover.unlink()
                 except OSError:
                     pass
-        self._wal_handle = None
+        self._wal_handle: BinaryIO | None = None
         self._wal_open_name: str | None = None
         #: byte offset of the last complete frame in the open WAL segment,
         #: and whether a failed append may have left torn bytes after it
@@ -105,7 +105,7 @@ class DirectoryCheckpointStore(CheckpointStore):
         self._wal_torn = False
         #: test-only kill-point hook: ``hook(point_name)`` may raise to
         #: simulate a crash at that exact window
-        self.fault_hook = None
+        self.fault_hook: Callable[[str], None] | None = None
 
     def _fault(self, point: str) -> None:
         hook = self.fault_hook
@@ -193,7 +193,7 @@ class DirectoryCheckpointStore(CheckpointStore):
         return path
 
     @staticmethod
-    def _read_frames(handle):
+    def _read_frames(handle: BinaryIO) -> Iterator[tuple[bytes, int]]:
         """Yield ``(payload, end_offset)`` for every complete frame.
 
         Streams one frame at a time (a long WAL is never loaded whole),

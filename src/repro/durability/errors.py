@@ -43,7 +43,9 @@ class CheckpointVersionError(CheckpointError):
     migration applies.
     """
 
-    def __init__(self, source, found, expected, detail: str = ""):
+    def __init__(
+        self, source: object, found: object, expected: object, detail: str = ""
+    ):
         self.source = str(source)
         self.found = found
         self.expected = expected

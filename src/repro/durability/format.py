@@ -93,7 +93,7 @@ def wal_name(generation: int) -> str:
 # ---------------------------------------------------------------- snapshots
 
 
-def migrate_snapshot_payload(payload: Any, source) -> dict:
+def migrate_snapshot_payload(payload: Any, source: object) -> dict:
     """Validate a single-file snapshot payload, migrating old versions.
 
     Returns a payload at :data:`CHECKPOINT_FORMAT_VERSION`.  Raises
@@ -151,7 +151,7 @@ def build_manifest(
     }
 
 
-def validate_manifest(manifest: Any, source) -> dict:
+def validate_manifest(manifest: Any, source: object) -> dict:
     """Check a decoded manifest's shape; raise with file context if bad."""
     if not isinstance(manifest, Mapping):
         raise CorruptCheckpointError(
@@ -187,7 +187,7 @@ def encode_segment(states: dict) -> bytes:
     return pickle.dumps(states, protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def decode_segment(payload: bytes, source) -> dict:
+def decode_segment(payload: bytes, source: object) -> dict:
     """Deserialize a cohort segment, raising with file context if bad."""
     try:
         states = pickle.loads(payload)
@@ -206,12 +206,12 @@ def decode_segment(payload: bytes, source) -> dict:
 # -------------------------------------------------------------- WAL records
 
 
-def encode_wal_record(kind: str, *parts) -> bytes:
+def encode_wal_record(kind: str, *parts: object) -> bytes:
     """Serialize one WAL record: an ingested batch in columnar form."""
     return pickle.dumps((kind, *parts), protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def decode_wal_record(payload: bytes, source) -> tuple:
+def decode_wal_record(payload: bytes, source: object) -> tuple:
     """Deserialize a WAL record, raising with file context if bad."""
     try:
         record = pickle.loads(payload)

@@ -29,7 +29,7 @@ import os
 import pickle
 from abc import ABC, abstractmethod
 from pathlib import Path
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.durability.errors import CorruptCheckpointError
 
@@ -61,7 +61,11 @@ def fsync_directory(directory: Path) -> None:
         os.close(handle)
 
 
-def atomic_write_bytes(path: Path, data: bytes, pre_replace_hook=None) -> None:
+def atomic_write_bytes(
+    path: Path,
+    data: bytes,
+    pre_replace_hook: Callable[[], None] | None = None,
+) -> None:
     """Write ``data`` to ``path`` atomically: tmp + fsync + ``os.replace``.
 
     A crash at any moment leaves either the previous content of ``path``
@@ -164,13 +168,15 @@ class SingleSnapshotStore:
     :meth:`read` must only be pointed at files from trusted sources.
     """
 
-    def __init__(self, path):
+    def __init__(self, path: str | os.PathLike):
         self.path = Path(os.fspath(path))
 
     def describe(self) -> str:
         return str(self.path)
 
-    def write(self, payload: dict, pre_replace_hook=None) -> None:
+    def write(
+        self, payload: dict, pre_replace_hook: Callable[[], None] | None = None
+    ) -> None:
         """Atomically replace the snapshot with ``payload`` (pickled)."""
         atomic_write_bytes(
             self.path,

@@ -123,7 +123,7 @@ def register(kind: str, name: str) -> Callable[[Type], Type]:
                 f"{existing.__module__}.{existing.__qualname__}"
             )
         _registry[kind][name] = cls
-        cls.registry_name = name
+        setattr(cls, "registry_name", name)
         return cls
 
     return decorator

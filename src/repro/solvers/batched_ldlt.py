@@ -57,6 +57,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis import hotpath
 from repro.solvers.incremental_ldlt import IncrementalBandedLDLT
 
 __all__ = ["BatchedIncrementalLDLT"]
@@ -286,6 +287,7 @@ class BatchedIncrementalLDLT:
         )
         return solver
 
+    @hotpath
     def extract_many(self, columns: np.ndarray) -> list[IncrementalBandedLDLT]:
         """Materialize the members at ``columns`` as scalar solvers at once.
 
@@ -373,6 +375,7 @@ class BatchedIncrementalLDLT:
 
     # -------------------------------------------------------------- advancing
 
+    @hotpath
     def rollback(self) -> None:
         """Undo the most recent :meth:`extend` for the whole batch in O(1)."""
         if not self._undo_ok:
@@ -417,6 +420,7 @@ class BatchedIncrementalLDLT:
         self._pattern_cache = (rows, columns, num_new, checked_rows, checked_columns)
         return checked_rows, checked_columns
 
+    @hotpath
     def extend(
         self,
         num_new: int,
@@ -520,6 +524,7 @@ class BatchedIncrementalLDLT:
         self._cur = other
         self._undo_ok = True
 
+    @hotpath
     def tail_solution(self, count: int) -> np.ndarray:
         """Last ``count`` solution entries of every member, shape ``(n, count)``.
 

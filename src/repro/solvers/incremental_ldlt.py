@@ -67,6 +67,7 @@ from typing import Iterable, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.analysis import hotpath
 from repro.solvers.ldlt import ldlt_factor
 
 __all__ = ["IncrementalBandedLDLT"]
@@ -148,6 +149,7 @@ class IncrementalBandedLDLT:
         clone._bp_trail = self._bp_trail[:]
         return clone
 
+    @hotpath
     def rollback(self) -> None:
         """Undo the most recent :meth:`extend` in O(1) time.
 
@@ -169,6 +171,7 @@ class IncrementalBandedLDLT:
         ) = self._undo
         self._undo = None
 
+    @hotpath
     def extend(
         self,
         num_new: int,
@@ -240,6 +243,7 @@ class IncrementalBandedLDLT:
             if self.size >= self.warmup_size:
                 self._switch_to_incremental()
 
+    @hotpath
     def tail_solution(self, count: int) -> np.ndarray:
         """Return the last ``count`` entries of the solution of ``A x = b``.
 
@@ -352,6 +356,7 @@ class IncrementalBandedLDLT:
 
     # ------------------------------------------------------ incremental mode
 
+    @hotpath
     def _extend_incremental(
         self, num_new: int, entries, rhs_list: list[float], check_indices: bool
     ) -> None:

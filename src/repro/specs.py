@@ -154,7 +154,9 @@ class ForecasterSpec(ComponentSpec):
     kind = registry.FORECASTER
 
 
-def spec_of(component, spec_class: type = None):
+def spec_of(
+    component: object, spec_class: type[ComponentSpec] | None = None
+) -> ComponentSpec | None:
     """Derive a component spec from a *live* component, or ``None``.
 
     Requires the component's class to be registered and to implement

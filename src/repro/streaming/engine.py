@@ -67,10 +67,11 @@ import os
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable, Tuple
+from typing import Callable, Hashable, Iterable, Iterator, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis import hotpath
 from repro.core.fleet import ColumnarNSigma, FleetKernel
 from repro.core.nsigma import NSigma
 from repro.core.oneshotstl import OneShotSTL
@@ -231,7 +232,7 @@ class IngestResult:
     # ------------------------------------------------------- columnar views
 
     @property
-    def keys(self) -> list:
+    def keys(self) -> list[Hashable]:
         """Row keys, aligned with the arrays (read-only by convention)."""
         if self._keys is None:
             if self._rounds <= 1:
@@ -292,7 +293,7 @@ class IngestResult:
     def __len__(self) -> int:
         return self.index.shape[0]
 
-    def __getitem__(self, position):
+    def __getitem__(self, position: int | slice) -> "EngineRecord | list[EngineRecord]":
         if isinstance(position, slice):
             return [self[i] for i in range(*position.indices(len(self)))]
         position = int(position)
@@ -320,10 +321,10 @@ class IngestResult:
         )
         return EngineRecord(key=key, status=SeriesStatus.LIVE, record=record)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[EngineRecord]:
         return iter(self.records())
 
-    def records(self) -> list:
+    def records(self) -> "list[EngineRecord]":
         """Materialize every row as an eager :class:`EngineRecord`.
 
         Bulk-converts the arrays to Python scalars first (``ndarray.tolist``
@@ -346,7 +347,7 @@ class IngestResult:
                 gc.enable()
         return self._materialize()
 
-    def _materialize(self) -> list:
+    def _materialize(self) -> "list[EngineRecord]":
         size = len(self)
         eager = self._eager
         keys_cycle = self._keys_cycle
@@ -399,7 +400,7 @@ class IngestResult:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SeriesStats:
     """Aggregated statistics of a single keyed series."""
 
@@ -410,7 +411,7 @@ class SeriesStats:
     latency: LatencyReport | None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FleetStats:
     """Aggregated statistics of the whole fleet."""
 
@@ -873,6 +874,7 @@ class MultiSeriesEngine:
         """
         return self.track_latency and not self._replaying
 
+    @hotpath
     def _process_live(
         self, key: Hashable, state: _SeriesState, value: float
     ) -> EngineRecord:
@@ -888,7 +890,9 @@ class MultiSeriesEngine:
             state.anomalies += 1
         return EngineRecord(key=key, status=SeriesStatus.LIVE, record=record)
 
-    def ingest(self, batch, *, columnar_results: bool = False):
+    def ingest(
+        self, batch: dict | tuple | Sequence, *, columnar_results: bool = False
+    ) -> "IngestResult | list[EngineRecord]":
         """Ingest a batch of observations, batching same-spec series.
 
         ``batch`` may be
@@ -983,7 +987,7 @@ class MultiSeriesEngine:
             )
         return records
 
-    def ingest_columnar(self, batch) -> IngestResult:
+    def ingest_columnar(self, batch: dict | tuple | Sequence) -> IngestResult:
         """Ingest a batch and keep the results columnar (arrays out).
 
         Equivalent to ``ingest(batch, columnar_results=True)``: the
@@ -1028,6 +1032,7 @@ class MultiSeriesEngine:
             return IngestResult.from_records(keys, records)
         return records
 
+    @hotpath
     def _ingest_grid(
         self, round_keys: list, grid: np.ndarray, columnar_results: bool
     ):
@@ -1083,6 +1088,9 @@ class MultiSeriesEngine:
                         result,
                     )
             else:
+                # repro: allow[HP001] cold fallback: runs only while keys
+                # are still warming; collapses to the cached pure-array
+                # plan once every key is absorbed
                 entries = [
                     (key, base + j) for j, key in enumerate(round_keys)
                 ]
@@ -1250,6 +1258,7 @@ class MultiSeriesEngine:
                 position, self.process(key, float(values[position]))
             )
 
+    @hotpath
     def _advance_cohort(
         self,
         group: _FleetGroup,
@@ -1373,11 +1382,11 @@ class MultiSeriesEngine:
     def __contains__(self, key: Hashable) -> bool:
         return key in self._series
 
-    def keys(self) -> list:
+    def keys(self) -> list[Hashable]:
         """All known series keys, in first-seen order."""
         return list(self._series)
 
-    def live_keys(self) -> list:
+    def live_keys(self) -> list[Hashable]:
         """Keys of the series that completed initialization."""
         return [key for key, state in self._series.items() if state.live]
 
@@ -1429,7 +1438,7 @@ class MultiSeriesEngine:
         self.close(checkpoint=exc_type is None)
 
     @staticmethod
-    def _coerce_store(store) -> CheckpointStore:
+    def _coerce_store(store: "CheckpointStore | str | os.PathLike") -> CheckpointStore:
         if isinstance(store, CheckpointStore):
             return store
         if isinstance(store, (str, os.PathLike)):
@@ -1440,7 +1449,11 @@ class MultiSeriesEngine:
         )
 
     @classmethod
-    def open(cls, store, spec: EngineSpec | None = None) -> "MultiSeriesEngine":
+    def open(
+        cls,
+        store: "CheckpointStore | str | os.PathLike",
+        spec: EngineSpec | None = None,
+    ) -> "MultiSeriesEngine":
         """Open a durable engine session on ``store`` (create or recover).
 
         ``store`` is a :class:`~repro.durability.CheckpointStore` or a
@@ -1503,7 +1516,9 @@ class MultiSeriesEngine:
                 )
         return cls._recover(store, manifest)
 
-    def attach_store(self, store, checkpoint: bool = True) -> None:
+    def attach_store(
+        self, store: "CheckpointStore | str | os.PathLike", checkpoint: bool = True
+    ) -> None:
         """Bind this engine to an *empty* store and start journaling.
 
         The manifest (carrying the engine's spec) is committed immediately
@@ -1832,7 +1847,7 @@ class MultiSeriesEngine:
 
     # --------------------------------------------------------- checkpointing
 
-    def snapshot(self):
+    def snapshot(self) -> dict:
         """Capture the engine state as an in-memory checkpoint.
 
         The checkpoint is an independent deep copy: later ingests do not
@@ -1847,7 +1862,7 @@ class MultiSeriesEngine:
         self._sync_all()
         return copy.deepcopy(self._series)
 
-    def restore(self, checkpoint) -> None:
+    def restore(self, checkpoint: dict) -> None:
         """Rewind the engine to a checkpoint taken with :meth:`snapshot`.
 
         The checkpoint itself stays untouched (it is deep-copied in), so it
@@ -1878,7 +1893,7 @@ class MultiSeriesEngine:
         self._cohort_markers = {}
         self._next_cohort_id = 0
 
-    def save(self, path) -> None:
+    def save(self, path: "str | os.PathLike") -> None:
         """Write a portable one-file checkpoint to ``path`` (atomically).
 
         The file carries ``{format_version, engine_spec, series,
@@ -1921,7 +1936,7 @@ class MultiSeriesEngine:
         SingleSnapshotStore(path).write(payload)
 
     @classmethod
-    def load(cls, path) -> "MultiSeriesEngine":
+    def load(cls, path: "str | os.PathLike") -> "MultiSeriesEngine":
         """Rebuild an engine from a checkpoint written by :meth:`save`.
 
         The engine is reconstructed from the embedded spec (via the

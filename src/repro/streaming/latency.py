@@ -19,7 +19,7 @@ from repro.utils import as_float_array, check_positive_int
 __all__ = ["LatencyReport", "measure_update_latency", "summarize_latencies"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LatencyReport:
     """Latency statistics of an online method over a stream."""
 

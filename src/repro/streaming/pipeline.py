@@ -20,6 +20,7 @@ import numpy as np
 
 from dataclasses import dataclass
 
+from repro.analysis import hotpath
 from repro.anomaly.nsigma import NSigma
 from repro.decomposition.base import OnlineDecomposer
 from repro.utils import as_float_array, check_positive_int
@@ -129,6 +130,7 @@ class StreamingPipeline:
         self._index = values.size
         self._initialized = True
 
+    @hotpath
     def process(self, value: float) -> StreamRecord:
         """Consume one observation and return the derived record.
 

@@ -1,0 +1,62 @@
+"""Tier-1 gate: the repo's own source passes its invariant checker.
+
+This is the test that makes the contracts of PRs 3-5 mechanical: a PR
+that allocates in a kernel loop, mutates engine state before its WAL
+append, forgets to register a component, or adds an unslotted hot
+dataclass fails here -- with the rule id and the line -- instead of
+surviving until someone profiles a regression or loses data in a crash.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.engine import analyze_paths
+from repro.analysis.suppressions import collect_suppressions
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+
+#: acceptance budget: at most this many inline suppressions in src/
+MAX_SUPPRESSIONS = 5
+
+
+def test_source_tree_has_zero_findings():
+    findings = analyze_paths([SRC])
+    assert findings == [], "\n" + "\n".join(f.render() for f in findings)
+
+
+def test_suppressions_stay_within_budget_and_state_reasons():
+    suppressions = []
+    for file in sorted(SRC.rglob("*.py")):
+        parsed, meta_findings = collect_suppressions(file.read_text(), str(file))
+        assert meta_findings == [], [f.render() for f in meta_findings]
+        suppressions.extend(parsed)
+    assert len(suppressions) <= MAX_SUPPRESSIONS, [
+        f"{s.path}:{s.line}" for s in suppressions
+    ]
+    for suppression in suppressions:
+        assert suppression.reason  # collect_suppressions guarantees this
+
+
+def test_cli_exits_zero_on_the_tree():
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", str(SRC)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_mypy_accepts_the_typed_surface():
+    mypy_api = pytest.importorskip(
+        "mypy.api", reason="mypy is not installed in this environment"
+    )
+    stdout, stderr, status = mypy_api.run(
+        ["--config-file", str(REPO_ROOT / "mypy.ini")]
+    )
+    assert status == 0, stdout + stderr

@@ -1,0 +1,476 @@
+"""Per-rule fixtures for the ``repro.analysis`` invariant checker.
+
+Every rule gets a violating, a clean, and a suppressed snippet, so a rule
+that silently stops firing (or starts over-firing) is caught here rather
+than by a regression slipping into the real tree.
+"""
+
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.engine import analyze_source
+from repro.analysis.rules_registry import check_registry
+from repro.anomaly.base import AnomalyDetector
+
+HOT_PATH = "src/repro/core/fixture.py"
+
+
+def run(source: str, path: str = HOT_PATH):
+    return analyze_source(textwrap.dedent(source), path)
+
+
+def rules(findings):
+    return [finding.rule for finding in findings]
+
+
+# --------------------------------------------------------------- HP001
+
+
+def test_hotpath_allocation_in_loop_is_flagged():
+    findings = run(
+        """
+        @hotpath
+        def advance(xs):
+            out = None
+            for x in xs:
+                out = [x, x]
+            return out
+        """
+    )
+    assert rules(findings) == ["HP001"]
+    assert "list literal" in findings[0].message
+
+
+def test_hotpath_comprehension_in_loop_is_flagged():
+    findings = run(
+        """
+        @hotpath
+        def advance(xs):
+            for x in xs:
+                ys = [y + 1 for y in x]
+            return ys
+        """
+    )
+    assert rules(findings) == ["HP001"]
+
+
+def test_hotpath_allocation_outside_loop_is_clean():
+    findings = run(
+        """
+        @hotpath
+        def advance(xs):
+            scratch = [0.0] * 4
+            for x in xs:
+                scratch[0] = x
+            return scratch
+        """
+    )
+    assert findings == []
+
+
+def test_unmarked_function_is_not_checked():
+    findings = run(
+        """
+        def cold(xs):
+            return [[x] for x in xs for _ in range(2)]
+        """
+    )
+    assert findings == []
+
+
+def test_tuples_and_index_tuples_are_exempt():
+    findings = run(
+        """
+        @hotpath
+        def advance(a, xs):
+            for x in xs:
+                pair = (x, x)
+                a[:, None] = x
+            return pair
+        """
+    )
+    assert findings == []
+
+
+def test_hotpath_allocation_suppressed_with_reason():
+    findings = run(
+        """
+        @hotpath
+        def advance(xs):
+            for x in xs:
+                out = [x]  # repro: allow[HP001] bounded warmup scratch
+            return out
+        """
+    )
+    assert findings == []
+
+
+# --------------------------------------------------------------- HP002
+
+
+def test_attribute_chain_in_loop_is_flagged():
+    findings = run(
+        """
+        @hotpath
+        def advance(self, values):
+            for state in self.states:
+                state.solver.extend(values)
+        """
+    )
+    assert rules(findings) == ["HP002"]
+    assert "state.solver.extend" in findings[0].message
+
+
+def test_hoisted_attribute_chain_is_clean():
+    findings = run(
+        """
+        @hotpath
+        def advance(self, values):
+            for state in self.states:
+                solver = state.solver
+                solver.extend(values)
+        """
+    )
+    assert findings == []
+
+
+def test_long_chain_is_one_finding():
+    findings = run(
+        """
+        @hotpath
+        def advance(self, values):
+            for v in values:
+                self.a.b.c.d(v)
+        """
+    )
+    assert rules(findings) == ["HP002"]
+
+
+# --------------------------------------------------------- HP003 / HP004
+
+
+def test_try_except_in_loop_is_flagged():
+    findings = run(
+        """
+        @hotpath
+        def advance(xs):
+            for x in xs:
+                try:
+                    x.go()
+                except ValueError:
+                    pass
+        """
+    )
+    assert rules(findings) == ["HP003"]
+
+
+def test_try_except_outside_loop_is_clean():
+    findings = run(
+        """
+        @hotpath
+        def advance(xs):
+            try:
+                for x in xs:
+                    x.go()
+            except ValueError:
+                pass
+        """
+    )
+    assert findings == []
+
+
+def test_kwargs_forwarding_is_flagged_even_outside_loops():
+    findings = run(
+        """
+        @hotpath
+        def advance(target, **options):
+            return target(**options)
+        """
+    )
+    assert rules(findings) == ["HP004"]
+
+
+# --------------------------------------------------------------- WAL001
+
+
+def test_mutation_hoisted_above_wal_append_is_flagged():
+    findings = run(
+        """
+        class Engine:
+            def process(self, key, value):
+                record = self._process_unlogged(key, value)
+                self._wal_append("point", key, value)
+                return record
+        """
+    )
+    assert rules(findings) == ["WAL001"]
+    assert "_process_unlogged" in findings[0].message
+
+
+def test_append_before_mutation_is_clean():
+    findings = run(
+        """
+        class Engine:
+            def process(self, key, value):
+                self._wal_append("point", key, value)
+                record = self._process_unlogged(key, value)
+                return record
+        """
+    )
+    assert findings == []
+
+
+def test_store_to_series_dict_before_append_is_flagged():
+    findings = run(
+        """
+        class Engine:
+            def put(self, key, state):
+                self._series[key] = state
+                self._wal_append("put", key)
+        """
+    )
+    assert rules(findings) == ["WAL001"]
+
+
+def test_branch_local_appends_dominate_later_mutation():
+    findings = run(
+        """
+        class Engine:
+            def ingest(self, batch):
+                if isinstance(batch, dict):
+                    self._wal_append("grid", batch)
+                else:
+                    self._wal_append("rows", batch)
+                return self._ingest_unlogged(batch)
+        """
+    )
+    assert findings == []
+
+
+def test_append_in_one_branch_only_does_not_dominate():
+    findings = run(
+        """
+        class Engine:
+            def ingest(self, batch):
+                if isinstance(batch, dict):
+                    self._wal_append("grid", batch)
+                return self._ingest_unlogged(batch)
+        """
+    )
+    assert rules(findings) == ["WAL001"]
+
+
+def test_append_inside_loop_does_not_dominate():
+    findings = run(
+        """
+        class Engine:
+            def ingest(self, rows):
+                for row in rows:
+                    self._wal_append("row", row)
+                return self._ingest_unlogged(rows)
+        """
+    )
+    assert rules(findings) == ["WAL001"]
+
+
+def test_method_without_wal_append_is_not_checked():
+    findings = run(
+        """
+        class Engine:
+            def _process_unlogged(self, key, value):
+                self._series[key] = value
+        """
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------------- SLOTS001
+
+
+def test_unslotted_dataclass_in_hot_module_is_flagged():
+    findings = run(
+        """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Verdict:
+            score: float
+        """
+    )
+    assert rules(findings) == ["SLOTS001"]
+
+
+def test_slotted_dataclass_is_clean():
+    findings = run(
+        """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True, slots=True)
+        class Verdict:
+            score: float
+        """
+    )
+    assert findings == []
+
+
+def test_unslotted_dataclass_outside_hot_modules_is_clean():
+    findings = run(
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class Row:
+            label: str
+        """,
+        path="src/repro/anomaly/fixture.py",
+    )
+    assert findings == []
+
+
+# -------------------------------------------------------------- SPEC001
+
+
+def test_non_primitive_spec_field_is_flagged():
+    findings = run(
+        """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class BadSpec:
+            initializer: object
+        """,
+        path="src/repro/specs.py",
+    )
+    assert rules(findings) == ["SPEC001"]
+
+
+def test_primitive_and_nested_spec_fields_are_clean():
+    findings = run(
+        """
+        from dataclasses import dataclass
+        from typing import ClassVar
+
+        @dataclass(frozen=True)
+        class GoodSpec:
+            name: str
+            params: dict
+            pipeline: PipelineSpec
+            window: int | None
+            kind: ClassVar[object] = None
+        """,
+        path="src/repro/specs.py",
+    )
+    assert findings == []
+
+
+# ------------------------------------------------------- suppressions
+
+
+def test_unknown_rule_id_in_suppression_is_a_finding():
+    findings = run(
+        """
+        x = 1  # repro: allow[NOPE42] misremembered id
+        """
+    )
+    assert rules(findings) == ["SUP001"]
+    assert "NOPE42" in findings[0].message
+
+
+def test_suppression_without_reason_is_a_finding():
+    findings = run(
+        """
+        x = 1  # repro: allow[HP001]
+        """
+    )
+    assert rules(findings) == ["SUP002"]
+
+
+def test_standalone_suppression_covers_next_code_line():
+    findings = run(
+        """
+        @hotpath
+        def advance(xs):
+            for x in xs:
+                # repro: allow[HP001] bounded scratch, reason continues
+                # over a second comment line
+                out = [x]
+            return out
+        """
+    )
+    assert findings == []
+
+
+def test_suppression_does_not_cover_other_rules():
+    findings = run(
+        """
+        @hotpath
+        def advance(self, xs):
+            for x in xs:
+                self.a.b.c(x)  # repro: allow[HP001] wrong rule named
+        """
+    )
+    assert rules(findings) == ["HP002"]
+
+
+# ------------------------------------------------------- registry rule
+
+
+class _UnregisteredDetector(AnomalyDetector):
+    """Concrete detector deliberately left out of the registry."""
+
+    def detect(self, train_values, test_values) -> np.ndarray:
+        return np.zeros(np.asarray(test_values).size)
+
+
+def test_unregistered_detector_subclass_is_flagged():
+    findings = check_registry(extra_classes=[_UnregisteredDetector])
+    ours = [
+        finding
+        for finding in findings
+        if "_UnregisteredDetector" in finding.message
+    ]
+    assert len(ours) == 1
+    assert ours[0].rule == "REG001"
+    assert ours[0].path.endswith("test_analysis_rules.py")
+
+
+def test_registered_components_pass_registry_rule():
+    # the only raw finding on the real tree is the (inline-suppressed)
+    # PrefilteredDampDetector adapter; every registered component must
+    # pass the REG002 spec round-trip outright
+    findings = check_registry()
+    assert all(
+        "PrefilteredDampDetector" in finding.message for finding in findings
+    )
+
+
+# ------------------------------------------------------------------ CLI
+
+
+def test_cli_reports_findings_and_exit_code(tmp_path):
+    bad = tmp_path / "fixture.py"
+    bad.write_text(
+        textwrap.dedent(
+            """
+            @hotpath
+            def advance(xs):
+                for x in xs:
+                    y = [x]
+                return y
+            """
+        )
+    )
+    repo_src = str(Path(__file__).resolve().parents[1] / "src")
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--no-registry", str(bad)],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": repo_src, "PATH": "/usr/bin:/bin"},
+    )
+    assert result.returncode == 1
+    assert f"{bad}:5: HP001" in result.stdout
+    assert "1 finding(s)" in result.stderr
