@@ -16,10 +16,14 @@ i.e. 30%) vs the baseline fails the gate.  The gate additionally checks,
 within the current run alone, that columnar *input* did not fall behind
 row input (a historical regression), that one-at-a-time kernel absorption
 stayed linear, that journaling ingested batches to the write-ahead log
-keeps at least half of the WAL-off throughput, and that an incremental
+keeps at least half of the WAL-off throughput, that an incremental
 checkpoint of the 1000-series fleet with one dirty cohort stays at least
-5x faster than a full snapshot (thresholds are imported from the bench
-module so the two CI steps enforce one policy)::
+5x faster than a full snapshot, and that the sharded tier (the 10k-series
+fleet fanned out across 4 worker processes) keeps its aggregate
+throughput at or above the single-process 1000-series columnar ingest of
+the same run -- with a failover recovery latency actually measured
+(thresholds are imported from the bench module so the two CI steps
+enforce one policy)::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
     PYTHONPATH=src python benchmarks/check_perf_regression.py
@@ -79,6 +83,7 @@ def current_run_checks(current: dict, source: str) -> list[str]:
         ABSORB_RATIO_CEILING,
         CHECKPOINT_SPEEDUP_FLOOR,
         INPUT_PATH_TOLERANCE,
+        SHARDED_COLUMNAR_FLOOR,
         WAL_INGEST_FLOOR,
     )
 
@@ -118,6 +123,31 @@ def current_run_checks(current: dict, source: str) -> list[str]:
             f"incremental checkpoint is only {speedup:.1f}x faster than a "
             f"full snapshot (required: {CHECKPOINT_SPEEDUP_FLOOR:.0f}x on "
             f"the {GATED_FLEET}-series fleet with one dirty cohort)"
+        )
+    try:
+        sharded_ratio = current["sharded_vs_columnar_ratio"]
+        sharded_series = current["sharded_series"]
+        sharded_workers = current["sharded_workers"]
+        recovery = current["failover_recovery_seconds"]
+    except KeyError as error:
+        raise SystemExit(
+            f"{source}: missing {error.args[0]!r}; regenerate with "
+            "bench_engine_throughput.py (the workload includes the "
+            "sharded rows)"
+        )
+    if sharded_ratio < SHARDED_COLUMNAR_FLOOR:
+        failures.append(
+            f"sharded {sharded_series}-series aggregate throughput across "
+            f"{sharded_workers} workers fell below "
+            f"{SHARDED_COLUMNAR_FLOOR:.1f}x the single-process "
+            f"{GATED_FLEET}-series columnar ingest (ratio "
+            f"{sharded_ratio:.2f}): the fleet amortization no longer "
+            "survives the fan-out/fan-in IPC hop"
+        )
+    if not recovery > 0:
+        failures.append(
+            f"failover recovery latency is {recovery!r}: the sharded "
+            "benchmark's SIGKILL-and-failover measurement did not run"
         )
     return failures
 
@@ -185,6 +215,13 @@ def main(argv: list[str] | None = None) -> int:
     for failure in current_run_checks(current, str(arguments.current)):
         print(f"FAIL: {failure}")
         failed = True
+    print(
+        f"sharded tier: {current['sharded_series']}-series aggregate is "
+        f"{current['sharded_vs_columnar_ratio']:.2f}x the single-process "
+        f"{GATED_FLEET}-series columnar ingest across "
+        f"{current['sharded_workers']} workers; failover recovery "
+        f"{current['failover_recovery_seconds']:.2f}s"
+    )
     if failed:
         return 1
     print("OK: no large-fleet throughput regression beyond tolerance.")

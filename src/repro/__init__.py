@@ -27,9 +27,10 @@ The most common entry points are re-exported here:
 Subpackages: ``core``, ``decomposition``, ``anomaly``, ``forecasting``,
 ``metrics``, ``datasets``, ``periodicity``, ``solvers``, ``neural``,
 ``streaming``, ``durability`` (checkpoint stores, write-ahead log and
-crash recovery behind ``MultiSeriesEngine.open``), ``utils``, plus the
-flat ``registry`` and ``specs`` modules.  See README.md and DESIGN.md for
-the full map.
+crash recovery behind ``MultiSeriesEngine.open``), ``sharding``
+(consistent-hash routing of the fleet across durable worker processes
+with checkpoint-handoff failover), ``utils``, plus the flat ``registry``
+and ``specs`` modules.  See README.md and DESIGN.md for the full map.
 """
 
 from repro.core import JointSTL, ModifiedJointSTL, NSigma, OneShotSTL, select_lambda

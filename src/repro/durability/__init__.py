@@ -27,7 +27,9 @@ from repro.durability.errors import (
     CheckpointError,
     CheckpointVersionError,
     CorruptCheckpointError,
+    StoreLockedError,
 )
+from repro.durability.lock import StoreLock
 from repro.durability.format import (
     CHECKPOINT_FORMAT_VERSION,
     CheckpointSummary,
@@ -48,6 +50,8 @@ __all__ = [
     "CorruptCheckpointError",
     "DirectoryCheckpointStore",
     "SingleSnapshotStore",
+    "StoreLock",
+    "StoreLockedError",
     "atomic_write_bytes",
     "migrate_snapshot_payload",
 ]

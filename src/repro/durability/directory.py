@@ -41,6 +41,7 @@ from pathlib import Path
 from typing import BinaryIO, Callable, Iterator
 
 from repro.durability.errors import CorruptCheckpointError
+from repro.durability.lock import DEFAULT_STALE_AFTER, LOCK_FILE_NAME, StoreLock
 from repro.durability.store import (
     CheckpointStore,
     atomic_write_bytes,
@@ -70,22 +71,49 @@ class DirectoryCheckpointStore(CheckpointStore):
         per record -- they survive a killed process, which is the failure
         mode the recovery oracle pins down.  ``True``: additionally
         ``fsync`` every append, trading throughput for power-loss safety.
+    exclusive:
+        ``True``: take the store's ownership lease (a ``LOCK`` file in the
+        root) before touching anything, raising
+        :class:`~repro.durability.errors.StoreLockedError` when another
+        live process holds it.  A lease whose holder pid is dead or whose
+        heartbeat mtime is older than ``stale_after`` is taken over -- the
+        checkpoint-handoff failover path.  Sharding workers always open
+        their store exclusively.
+    stale_after:
+        Heartbeat-staleness horizon in seconds for ``exclusive`` mode
+        (``None`` disables the mtime horizon; only a provably dead holder
+        is then stale).
     """
 
-    def __init__(self, root: str | os.PathLike, wal_sync: bool = False):
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        wal_sync: bool = False,
+        exclusive: bool = False,
+        stale_after: float | None = DEFAULT_STALE_AFTER,
+    ):
         self.root = Path(os.fspath(root))
         self.wal_sync = bool(wal_sync)
         self._segments = self.root / _SEGMENT_DIRECTORY
         self._wals = self.root / _WAL_DIRECTORY
         self._wals.mkdir(parents=True, exist_ok=True)
         self._segments.mkdir(parents=True, exist_ok=True)
+        # The ownership lease must be held before the tmp sweep below:
+        # sweeping while another process is mid-checkpoint would delete
+        # its in-flight tmp files out from under it.
+        self.lock: StoreLock | None = None
+        if exclusive:
+            self.lock = StoreLock(
+                self.root / LOCK_FILE_NAME, stale_after=stale_after
+            ).acquire()
         # A crash between an atomic write's fsync and its rename leaves a
         # *.tmp file that nothing references (segment/WAL names embed the
         # generation, so the same tmp name never gets rewritten); sweep
         # them on open so crashed checkpoints cannot leak disk forever.
         # Only the store's own artifact names are touched -- the root may
         # be a pre-existing directory holding unrelated files -- and
-        # single-process ownership means nothing can be mid-write here.
+        # exclusive ownership (the lease above, or the caller's own
+        # single-process discipline) means nothing can be mid-write here.
         sweeps = [
             (self.root, _MANIFEST_FILE + ".tmp"),
             (self._segments, "*.tmp"),
@@ -114,6 +142,11 @@ class DirectoryCheckpointStore(CheckpointStore):
 
     def describe(self) -> str:
         return str(self.root)
+
+    def heartbeat(self) -> None:
+        """Refresh the ownership lease mtime (no-op without a lock)."""
+        if self.lock is not None:
+            self.lock.heartbeat()
 
     # ------------------------------------------------------------- manifest
 
@@ -314,3 +347,5 @@ class DirectoryCheckpointStore(CheckpointStore):
 
     def close(self) -> None:
         self.close_wal()
+        if self.lock is not None:
+            self.lock.release()

@@ -19,6 +19,7 @@ __all__ = [
     "CheckpointError",
     "CheckpointVersionError",
     "CorruptCheckpointError",
+    "StoreLockedError",
 ]
 
 
@@ -33,6 +34,29 @@ class CorruptCheckpointError(CheckpointError):
     sections and checksum mismatches.  The message always names the
     offending file and what was found there.
     """
+
+
+class StoreLockedError(CheckpointError):
+    """Another live process holds the store's ownership lease.
+
+    Carries the lease ``path`` and the ``holder`` document (``pid``,
+    ``host``, ``acquired_at``) read from it, so an operator can decide
+    whether to wait, kill the holder, or point the new session elsewhere.
+    Raised only for a *live* holder -- leases whose pid is gone or whose
+    heartbeat is stale are taken over silently.
+    """
+
+    def __init__(self, path: object, holder: dict):
+        self.path = str(path)
+        self.holder = dict(holder)
+        pid = self.holder.get("pid", "?")
+        host = self.holder.get("host", "")
+        where = f" on {host}" if host else ""
+        super().__init__(
+            f"{self.path}: store is locked by live process {pid}{where}; "
+            "close that session (or wait for its lease to go stale) before "
+            "opening this store for writing"
+        )
 
 
 class CheckpointVersionError(CheckpointError):

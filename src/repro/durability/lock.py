@@ -1,0 +1,219 @@
+"""Store ownership lock: one writer process per checkpoint store.
+
+A :class:`DirectoryCheckpointStore` assumes single-process ownership --
+its WAL appends and segment writes are atomic individually, but two
+processes interleaving them would corrupt the *logical* stream (two WALs
+racing one manifest).  :class:`StoreLock` makes that assumption
+enforceable: a lease file created with ``O_CREAT | O_EXCL`` whose content
+names the holder (pid, host, acquisition time) and whose **mtime is the
+heartbeat** -- the holder refreshes it periodically, and a prospective
+owner treats the lease as stale (and takes it over) when either
+
+* the holder pid no longer exists on this host (the SIGKILLed-worker
+  case: the dead process can never write again, so takeover is safe), or
+* the heartbeat mtime is older than ``stale_after`` seconds (covers pid
+  reuse and hung processes; generous by default).
+
+Takeover is race-free between concurrent claimants: the stale lease is
+first **renamed** aside (exactly one renamer wins; ``os.rename`` of an
+existing file is atomic on POSIX), and only the winner creates the fresh
+lease.  Losers re-enter the acquisition loop and find the new, live
+lease.
+
+A held lock is advisory -- nothing stops a process that never looks at
+the lease -- but every engine-facing entry point that opts in
+(``DirectoryCheckpointStore(..., exclusive=True)``, which the sharding
+workers always use) acquires it before touching any store artifact.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.durability.errors import StoreLockedError
+
+__all__ = ["StoreLock"]
+
+#: lease file name inside the store root
+LOCK_FILE_NAME = "LOCK"
+
+#: default heartbeat-staleness horizon (seconds); generous because the
+#: primary staleness signal is the holder pid being gone, and mtime age
+#: only matters for pid-reuse and hung-holder corner cases.
+DEFAULT_STALE_AFTER = 30.0
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process on this host."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        # The process exists but belongs to another user.
+        return True
+    except OSError:
+        # Platforms where signal 0 probing is unsupported: assume alive
+        # (the mtime horizon still bounds how long a stale lease survives).
+        return True
+    return True
+
+
+class StoreLock:
+    """An exclusive, heartbeat-refreshed lease file.
+
+    Parameters
+    ----------
+    path:
+        Location of the lease file (conventionally ``<store root>/LOCK``).
+    stale_after:
+        Heartbeat age (seconds) beyond which a lease whose holder cannot
+        be proven dead is still considered stale.  ``None`` disables the
+        mtime horizon -- only a provably dead holder pid is then stale.
+    """
+
+    def __init__(
+        self,
+        path: "str | os.PathLike",
+        stale_after: float | None = DEFAULT_STALE_AFTER,
+    ):
+        self.path = Path(os.fspath(path))
+        self.stale_after = None if stale_after is None else float(stale_after)
+        self._held = False
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def held(self) -> bool:
+        """Whether *this object* currently holds the lease."""
+        return self._held
+
+    def read_holder(self) -> dict | None:
+        """The current lease document, or ``None`` when unlocked.
+
+        A lease file that cannot be parsed reads as ``{"pid": -1}``: it
+        claims the store (the file exists) but can never match a live
+        process, so it is reclaimable through the staleness rules.
+        """
+        try:
+            text = self.path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError:
+            return {"pid": -1}
+        try:
+            holder = json.loads(text)
+        except ValueError:
+            return {"pid": -1}
+        if not isinstance(holder, dict):
+            return {"pid": -1}
+        return holder
+
+    def _lease_is_stale(self) -> bool:
+        """Whether the existing lease may be taken over."""
+        holder = self.read_holder()
+        if holder is None:
+            # Already released between our EEXIST and this check.
+            return True
+        pid = holder.get("pid")
+        if isinstance(pid, int) and not _pid_alive(pid):
+            return True
+        if self.stale_after is not None:
+            try:
+                age = time.time() - self.path.stat().st_mtime
+            except OSError:
+                return True
+            if age > self.stale_after:
+                return True
+        return False
+
+    # ------------------------------------------------------------- lifecycle
+
+    def acquire(self) -> "StoreLock":
+        """Take the lease or raise :class:`StoreLockedError`.
+
+        Returns ``self`` so construction and acquisition chain:
+        ``StoreLock(path).acquire()``.
+        """
+        if self._held:
+            return self
+        payload = json.dumps(
+            {
+                "pid": os.getpid(),
+                "host": os.uname().nodename if hasattr(os, "uname") else "",
+                "acquired_at": time.time(),
+            }
+        ).encode()
+        # Two attempts: the original claim, and one retry after a
+        # successful stale-lease takeover.  A second EEXIST means another
+        # claimant won the takeover race and is live -- locked.
+        for _attempt in range(8):
+            try:
+                descriptor = os.open(
+                    self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644
+                )
+            except FileExistsError:
+                if not self._lease_is_stale():
+                    holder = self.read_holder() or {}
+                    raise StoreLockedError(self.path, holder)
+                # Atomically steal the stale lease: exactly one claimant's
+                # rename succeeds; everyone else loops and re-examines.
+                stale_name = self.path.with_name(
+                    f"{self.path.name}.stale.{os.getpid()}"
+                )
+                try:
+                    os.rename(self.path, stale_name)
+                except OSError as error:
+                    if error.errno not in (errno.ENOENT,):
+                        raise
+                    continue
+                try:
+                    os.unlink(stale_name)
+                except OSError:
+                    pass
+                continue
+            try:
+                os.write(descriptor, payload)
+                os.fsync(descriptor)
+            finally:
+                os.close(descriptor)
+            self._held = True
+            return self
+        raise StoreLockedError(self.path, self.read_holder() or {})
+
+    def heartbeat(self) -> None:
+        """Refresh the lease mtime (no-op when not held).
+
+        Cheap (one ``utime`` syscall), so callers may invoke it once per
+        handled request/batch rather than on a timer.
+        """
+        if not self._held:
+            return
+        try:
+            os.utime(self.path)
+        except OSError:
+            # A vanished lease file surfaces on the next acquire/steal; a
+            # heartbeat must never take the holding process down.
+            pass
+
+    def release(self) -> None:
+        """Drop the lease (idempotent; never raises on a vanished file)."""
+        if not self._held:
+            return
+        self._held = False
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "StoreLock":
+        return self.acquire()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.release()

@@ -1,0 +1,87 @@
+"""Sharding-tier error types.
+
+Routing and worker-lifecycle failures subclass :class:`ShardingError` (a
+``RuntimeError``: they describe a broken *process topology*, not bad
+values).  The distinction that matters operationally is between
+
+* :class:`WorkerCrashError` -- a worker died and could **not** be brought
+  back (its store is gone, locked by a live foreign process, or recovery
+  itself failed), and
+* :class:`ShardFailoverError` -- a worker died mid-request but a
+  replacement **has already recovered its store**; the error reports
+  whether the in-flight batch survived into the WAL so the caller knows
+  exactly whether to re-send it.
+
+Every message names the shard, because a router-level failure surfaces on
+an operator's console far from the worker that caused it.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ShardFailoverError",
+    "ShardingError",
+    "WorkerCrashError",
+]
+
+
+class ShardingError(RuntimeError):
+    """Base class for shard-router and worker-lifecycle failures."""
+
+
+class WorkerCrashError(ShardingError):
+    """A shard worker died and could not be replaced.
+
+    Carries the ``shard_id`` and a human-readable ``detail`` of why
+    recovery was not attempted or did not succeed.
+    """
+
+    def __init__(self, shard_id: str, detail: str):
+        self.shard_id = str(shard_id)
+        self.detail = str(detail)
+        super().__init__(f"shard {self.shard_id!r}: {self.detail}")
+
+
+class ShardFailoverError(ShardingError):
+    """A worker died mid-request; a replacement has recovered its store.
+
+    Raised *after* failover completed, so the cluster is already serving
+    again when the caller sees this.  Attributes tell the caller what to
+    do next:
+
+    ``shard_id``
+        The shard that failed over.  Shards that did *not* die already
+        applied their slices of the batch (per-shard application is not
+        transactional across the cluster), so recovery actions concern
+        only this shard's slice -- the keys for which
+        ``router.shard_of(key) == shard_id``.
+    ``batch_survived``
+        ``True``: this shard's slice reached the dead worker's WAL and
+        replay applied it -- state advanced, do **not** re-send (only
+        the batch's *results* were lost with the worker).  ``False``:
+        the slice died before its WAL append -- re-send this shard's
+        keys (and only them).
+    ``recovered_points``
+        Total observation count the replacement recovered to, for audit
+        logs.
+    """
+
+    def __init__(
+        self, shard_id: str, batch_survived: bool, recovered_points: int
+    ):
+        self.shard_id = str(shard_id)
+        self.batch_survived = bool(batch_survived)
+        self.recovered_points = int(recovered_points)
+        action = (
+            "its slice of the in-flight batch survived into the WAL and "
+            "is applied; do not re-send it"
+            if batch_survived
+            else "its slice of the in-flight batch was lost before the "
+            "WAL append; re-send this shard's keys (other shards applied "
+            "theirs)"
+        )
+        super().__init__(
+            f"shard {self.shard_id!r}: worker died mid-request and a "
+            f"replacement recovered its store "
+            f"(recovered_points={self.recovered_points}); {action}"
+        )

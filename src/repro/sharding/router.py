@@ -1,0 +1,697 @@
+"""Shard router: consistent-hash fan-out over durable worker processes.
+
+:class:`ShardRouter` is the serving tier's front door.  It spawns one
+:mod:`worker <repro.sharding.worker>` process per
+:class:`~repro.sharding.ShardSpec`, each running a durable
+:class:`~repro.streaming.MultiSeriesEngine` session over its own
+exclusively-locked :class:`~repro.durability.DirectoryCheckpointStore`,
+and routes by consistent hashing on the series key
+(:class:`~repro.sharding.ConsistentHashRing` -- process-independent
+``blake2b`` tokens, so the same key always reaches the same shard across
+restarts).
+
+**The hot path stays batched end to end.**  ``ingest`` takes the same
+columnar forms the engine does, partitions the *columns* of a
+``{key: values}`` grid by shard, and sends each worker exactly one
+message per batch -- its keys plus its ``(L, k)`` sub-grid -- then fans
+the per-shard :class:`~repro.streaming.IngestResult` arrays back into
+one combined result with a few strided scatters.  No per-point IPC
+anywhere.
+
+**Failover is checkpoint-handoff.**  A worker that dies (SIGKILL
+included) leaves a store whose ownership lease reads stale by dead pid;
+the router spawns a replacement on the same store, which takes the lease
+over, rebuilds from the last manifest and replays the surviving WAL
+prefix bit-identically.  A death detected *mid-ingest* recovers first
+and then raises :class:`~repro.sharding.ShardFailoverError` telling the
+caller -- via WAL arithmetic, not guesswork -- whether the in-flight
+batch survived into the log (state advanced; don't re-send) or was lost
+before its append (re-send it).
+
+**Shards are elastic.**  :meth:`add_shard` / :meth:`remove_shard`
+migrate exactly the keys the ring reassigns (about ``1/n`` of the space)
+by drain-and-adopt: the source engine extracts and commits, the target
+adopts and commits, both via the engine's
+``extract_series``/``adopt_series`` handoff -- the moved series continue
+bit-identically on their new shard.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Hashable, NoReturn, Sequence
+
+import numpy as np
+
+from repro.sharding.errors import (
+    ShardFailoverError,
+    ShardingError,
+    WorkerCrashError,
+)
+from repro.sharding.hashring import ConsistentHashRing
+from repro.sharding.spec import ClusterSpec, ShardSpec
+from repro.sharding.worker import worker_main
+from repro.streaming.engine import FleetStats, IngestResult, MultiSeriesEngine
+
+__all__ = ["ClusterStats", "FailoverReport", "ShardRouter"]
+
+#: IngestResult array fields, in the order workers reply them
+_RESULT_FIELDS = (
+    "index",
+    "value",
+    "trend",
+    "seasonal",
+    "residual",
+    "anomaly_score",
+    "is_anomaly",
+    "detection_residual",
+    "live",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FailoverReport:
+    """Outcome of one shard failover (replacement already serving)."""
+
+    shard_id: str
+    recovered_points: int
+    duration_seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterStats:
+    """Fleet statistics aggregated across every shard."""
+
+    series_total: int
+    series_live: int
+    series_warming: int
+    points_total: int
+    anomalies_total: int
+    shards: dict = field(default_factory=dict)
+
+
+class _WorkerDied(Exception):
+    """Internal: the peer process died mid-conversation."""
+
+
+class _ShardWorker:
+    """Router-side handle of one worker process."""
+
+    __slots__ = ("spec", "process", "conn", "points_confirmed")
+
+    def __init__(self, spec: ShardSpec, process: Any, conn: Any, points: int):
+        self.spec = spec
+        self.process = process
+        self.conn = conn
+        #: observations this worker has durably applied (WAL-appended and
+        #: advanced), from its ready report plus confirmed ingest replies.
+        #: The failover arithmetic compares a replacement's recovered
+        #: count against this to decide whether an in-flight batch
+        #: survived into the WAL.
+        self.points_confirmed = points
+
+
+class ShardRouter:
+    """Route a keyed fleet across durable worker processes.
+
+    Parameters
+    ----------
+    cluster:
+        The :class:`~repro.sharding.ClusterSpec` to serve.  Worker
+        processes start immediately (recovering any existing store
+        state); the router is ready when the constructor returns.
+    wal_sync:
+        Forwarded to every worker's store (``fsync`` per WAL append).
+    auto_recover:
+        ``True`` (default): a worker death detected mid-request triggers
+        failover before the error surfaces, and the raised
+        :class:`~repro.sharding.ShardFailoverError` says whether to
+        re-send.  ``False``: the death raises
+        :class:`~repro.sharding.WorkerCrashError` and the shard stays
+        down until :meth:`failover` is called.
+    checkpoint_interval:
+        Per-worker auto-checkpoint cadence in WAL records (``None``:
+        checkpoint only on :meth:`checkpoint`/:meth:`close` -- between
+        those, durability rides on the WAL, which is the fast and still
+        crash-safe default).
+    request_timeout / spawn_timeout:
+        Seconds to wait for a reply / for a worker to report ready
+        (recovery of a large store happens inside the spawn window).
+    stale_after:
+        Store-lease staleness horizon, forwarded to workers.
+    fault_injection:
+        Tests only: ``{shard_id: {"kill_point": ..., "kill_after": n}}``
+        arms a real ``SIGKILL`` at a named durability boundary in that
+        worker.  Consumed at spawn -- the replacement brought up by
+        failover starts clean instead of re-arming the same death.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        *,
+        wal_sync: bool = False,
+        auto_recover: bool = True,
+        checkpoint_interval: int | None = None,
+        request_timeout: float = 300.0,
+        spawn_timeout: float = 600.0,
+        stale_after: float | None = None,
+        fault_injection: dict | None = None,
+    ):
+        if not isinstance(cluster, ClusterSpec):
+            raise TypeError(
+                f"cluster must be a ClusterSpec, got {type(cluster).__name__}"
+            )
+        self.cluster = cluster
+        self.auto_recover = bool(auto_recover)
+        self.request_timeout = float(request_timeout)
+        self.spawn_timeout = float(spawn_timeout)
+        self._wal_sync = bool(wal_sync)
+        self._checkpoint_interval = checkpoint_interval
+        self._stale_after = stale_after
+        self._fault_injection = dict(fault_injection or {})
+        self._spec_dict = cluster.engine.to_dict()
+        try:
+            self._ctx = multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork: spawn works too
+            self._ctx = multiprocessing.get_context()
+        self._ring = ConsistentHashRing(
+            (shard.shard_id for shard in cluster.shards),
+            virtual_nodes=cluster.virtual_nodes,
+        )
+        self._workers: dict[str, _ShardWorker] = {}
+        self._closed = False
+        try:
+            for shard in cluster.shards:
+                self._workers[shard.shard_id] = self._spawn(shard)
+        except BaseException:
+            self.close(checkpoint=False)
+            raise
+
+    # ------------------------------------------------------- worker lifecycle
+
+    def _worker_options(self, shard_id: str) -> dict:
+        options: dict = {"wal_sync": self._wal_sync}
+        if self._checkpoint_interval is not None:
+            options["checkpoint_interval"] = self._checkpoint_interval
+        if self._stale_after is not None:
+            options["stale_after"] = self._stale_after
+        options.update(self._fault_injection.pop(shard_id, {}))
+        return options
+
+    def _spawn(self, spec: ShardSpec) -> _ShardWorker:
+        """Start (or restart) the worker serving ``spec`` and await ready."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(
+                child_conn,
+                spec.shard_id,
+                spec.store_path,
+                self._spec_dict,
+                self._worker_options(spec.shard_id),
+            ),
+            name=f"repro-shard-{spec.shard_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        deadline = time.monotonic() + self.spawn_timeout
+        while not parent_conn.poll(0.05):
+            if not process.is_alive():
+                raise WorkerCrashError(
+                    spec.shard_id,
+                    "worker process died before reporting ready (store "
+                    "locked by a live process, or recovery failed; check "
+                    "its stderr)",
+                )
+            if time.monotonic() > deadline:
+                process.kill()
+                raise WorkerCrashError(
+                    spec.shard_id,
+                    f"worker did not report ready within {self.spawn_timeout}s",
+                )
+        status, info = parent_conn.recv()
+        if status != "ready":
+            process.join(timeout=5.0)
+            raise WorkerCrashError(
+                spec.shard_id, f"worker failed to start: {info}"
+            )
+        return _ShardWorker(spec, process, parent_conn, int(info["points_total"]))
+
+    def _recv(self, worker: _ShardWorker) -> tuple[str, Any]:
+        """Await one reply, raising :class:`_WorkerDied` on process death."""
+        deadline = time.monotonic() + self.request_timeout
+        try:
+            while not worker.conn.poll(0.05):
+                if not worker.process.is_alive():
+                    raise _WorkerDied()
+                if time.monotonic() > deadline:
+                    raise WorkerCrashError(
+                        worker.spec.shard_id,
+                        f"no reply within {self.request_timeout}s "
+                        "(worker alive but stuck)",
+                    )
+            return worker.conn.recv()
+        except (EOFError, OSError):
+            raise _WorkerDied() from None
+
+    def _request(self, worker: _ShardWorker, command: str, payload: Any) -> Any:
+        """One synchronous command round-trip, errors re-raised locally."""
+        try:
+            worker.conn.send((command, payload))
+        except (BrokenPipeError, OSError):
+            raise _WorkerDied() from None
+        return self._request_reply(worker)
+
+    def _alive(self, shard_id: str) -> _ShardWorker:
+        if self._closed:
+            raise ShardingError("router is closed")
+        worker = self._workers.get(shard_id)
+        if worker is None:
+            raise ShardingError(f"no shard {shard_id!r} in this cluster")
+        return worker
+
+    def failover(self, shard_id: str) -> FailoverReport:
+        """Replace a dead worker: reopen its store, replay its WAL, serve on.
+
+        The replacement takes over the dead process' stale store lease,
+        rebuilds from the last committed manifest and replays the
+        surviving WAL prefix -- state continues bit-identically with the
+        log.  Raises :class:`~repro.sharding.ShardingError` if the worker
+        is still alive (kill it first; live workers are drained with
+        :meth:`remove_shard`, not failed over).
+        """
+        worker = self._alive(shard_id)
+        # A killed worker's pipe hits EOF an instant before the process is
+        # reapable (fds close before the exit notification), so a caller
+        # reacting to the EOF can land here while ``is_alive()`` still says
+        # yes; a short join closes that window without masking a worker
+        # that is genuinely serving.
+        worker.process.join(timeout=1.0)
+        if worker.process.is_alive():
+            raise ShardingError(
+                f"shard {shard_id!r}: worker pid {worker.process.pid} is "
+                "alive; failover replaces dead workers only (use "
+                "remove_shard() to drain a live one)"
+            )
+        start = time.perf_counter()
+        worker.conn.close()
+        worker.process.join()
+        replacement = self._spawn(worker.spec)
+        self._workers[shard_id] = replacement
+        return FailoverReport(
+            shard_id=shard_id,
+            recovered_points=replacement.points_confirmed,
+            duration_seconds=time.perf_counter() - start,
+        )
+
+    # ---------------------------------------------------------------- routing
+
+    def shard_of(self, key: Hashable) -> str:
+        """The shard id currently serving ``key``."""
+        return self._ring.shard_for(key)
+
+    @property
+    def shard_ids(self) -> list[str]:
+        """Shards in the cluster, sorted."""
+        return sorted(self._workers)
+
+    def _failover_in_flight(self, casualties: dict) -> NoReturn:
+        """Handle worker deaths detected mid-ingest.
+
+        ``casualties`` maps each dead shard to ``(points_before,
+        rows_in_flight)``.  With :attr:`auto_recover` the shard is
+        brought back *first*, then :class:`ShardFailoverError` reports
+        whether the batch survived: the recovered count equals either
+        ``points_before`` (the batch missed the WAL -- lost, re-send) or
+        ``points_before + rows_in_flight`` (the WAL append preceded the
+        death and replay applied it -- don't re-send).  A batch's WAL
+        record is single and CRC-framed, so there is no partial case.
+        """
+        shard_id, (points_before, rows_in_flight) = next(iter(casualties.items()))
+        if not self.auto_recover:
+            raise WorkerCrashError(
+                shard_id,
+                "worker died mid-ingest and auto_recover is off; call "
+                "failover() to bring the shard back",
+            )
+        first: ShardFailoverError | None = None
+        for shard_id, (points_before, rows_in_flight) in casualties.items():
+            report = self.failover(shard_id)
+            survived = (
+                report.recovered_points >= points_before + rows_in_flight
+            )
+            error = ShardFailoverError(
+                shard_id, survived, report.recovered_points
+            )
+            if first is None:
+                first = error
+        assert first is not None  # casualties is never empty
+        raise first
+
+    def ingest(self, batch: "dict | tuple | Sequence") -> IngestResult:
+        """Ingest one batch across the cluster; columnar in, columnar out.
+
+        Accepts the engine's batched input forms -- a columnar ``{key:
+        values}`` grid (the fast path), parallel ``(keys, values)``
+        arrays, or an iterable of ``(key, value)`` rows -- partitions by
+        shard, sends **one message per shard**, and returns one combined
+        :class:`~repro.streaming.IngestResult` in the equivalent input
+        order.  Per-shard application is not transactional across the
+        cluster (a validation error on one shard leaves other shards'
+        slices applied, mirroring the engine's own non-transactional
+        batch contract); the raised error names the offending shard.
+
+        If a worker dies mid-batch, see :class:`ShardFailoverError`.
+        """
+        if isinstance(batch, dict):
+            round_keys, grid = MultiSeriesEngine._grid_from_dict(batch)
+            return self._ingest_grid(round_keys, grid)
+        if (
+            isinstance(batch, tuple)
+            and len(batch) == 2
+            and isinstance(batch[1], np.ndarray)
+        ):
+            keys, values = batch
+            values = np.asarray(values, dtype=float)
+            keys = list(keys)
+            if values.ndim != 1 or len(keys) != values.size:
+                raise ValueError(
+                    "parallel-array ingest expects (keys, values) of equal "
+                    "length with a 1-D value array"
+                )
+        else:
+            rows = list(batch)
+            keys = [row[0] for row in rows]
+            values = np.array([row[1] for row in rows], dtype=float)
+        return self._ingest_rows(keys, values)
+
+    def _ingest_grid(self, round_keys: list, grid: np.ndarray) -> IngestResult:
+        """Fan a round-major ``(L, n)`` grid out by column, fan arrays in."""
+        n_rounds, n = grid.shape
+        result = IngestResult(round_keys, n_rounds)
+        if n_rounds * n == 0:
+            return result
+        parts = self._ring.assignments(round_keys)
+        sent: list[tuple[_ShardWorker, np.ndarray, int]] = []
+        casualties: dict[str, tuple[int, int]] = {}
+        for shard_id, positions in parts.items():
+            worker = self._alive(shard_id)
+            columns = np.asarray(positions, dtype=np.intp)
+            sub_keys = [round_keys[position] for position in positions]
+            sub_grid = np.ascontiguousarray(grid[:, columns])
+            rows_in_flight = n_rounds * columns.size
+            try:
+                worker.conn.send(("ingest", (sub_keys, sub_grid)))
+            except (BrokenPipeError, OSError):
+                casualties[shard_id] = (worker.points_confirmed, rows_in_flight)
+                continue
+            sent.append((worker, columns, rows_in_flight))
+        shard_error: BaseException | None = None
+        for worker, columns, rows_in_flight in sent:
+            try:
+                arrays = self._request_reply(worker)
+            except _WorkerDied:
+                casualties[worker.spec.shard_id] = (
+                    worker.points_confirmed,
+                    rows_in_flight,
+                )
+                continue
+            except (ValueError, TypeError, KeyError, RuntimeError) as error:
+                # The shard applied a prefix of its slice and rejected a
+                # value; other shards' replies still need draining.  The
+                # worker's confirmed count is re-synced lazily below.
+                shard_error = shard_error or error
+                self._resync_points(worker)
+                continue
+            worker.points_confirmed += rows_in_flight
+            width = columns.size
+            for name, shard_array in zip(_RESULT_FIELDS, arrays):
+                getattr(result, name).reshape(n_rounds, n)[:, columns] = (
+                    shard_array.reshape(n_rounds, width)
+                )
+        if casualties:
+            self._failover_in_flight(casualties)
+        if shard_error is not None:
+            raise shard_error
+        return result
+
+    def _ingest_rows(self, keys: list, values: np.ndarray) -> IngestResult:
+        """Fan a flat ``(keys, values)`` batch out by row position."""
+        result = IngestResult(keys, 1 if keys else 0)
+        if not keys:
+            return result
+        parts = self._ring.assignments(keys)
+        sent: list[tuple[_ShardWorker, np.ndarray]] = []
+        casualties: dict[str, tuple[int, int]] = {}
+        for shard_id, positions in parts.items():
+            worker = self._alive(shard_id)
+            take = np.asarray(positions, dtype=np.intp)
+            sub_keys = [keys[position] for position in positions]
+            try:
+                worker.conn.send(("ingest_rows", (sub_keys, values[take])))
+            except (BrokenPipeError, OSError):
+                casualties[shard_id] = (worker.points_confirmed, take.size)
+                continue
+            sent.append((worker, take))
+        shard_error: BaseException | None = None
+        for worker, take in sent:
+            try:
+                arrays = self._request_reply(worker)
+            except _WorkerDied:
+                casualties[worker.spec.shard_id] = (
+                    worker.points_confirmed,
+                    take.size,
+                )
+                continue
+            except (ValueError, TypeError, KeyError, RuntimeError) as error:
+                shard_error = shard_error or error
+                self._resync_points(worker)
+                continue
+            worker.points_confirmed += take.size
+            for name, shard_array in zip(_RESULT_FIELDS, arrays):
+                getattr(result, name)[take] = shard_array
+        if casualties:
+            self._failover_in_flight(casualties)
+        if shard_error is not None:
+            raise shard_error
+        return result
+
+    def _request_reply(self, worker: _ShardWorker) -> Any:
+        """Receive one already-sent request's reply (shared error mapping)."""
+        status, reply = self._recv(worker)
+        if status == "error":
+            kind, message = reply
+            exception_type = {
+                "ValueError": ValueError,
+                "TypeError": TypeError,
+                "KeyError": KeyError,
+                "RuntimeError": RuntimeError,
+            }.get(kind, ShardingError)
+            raise exception_type(f"shard {worker.spec.shard_id!r}: {message}")
+        return reply
+
+    def _resync_points(self, worker: _ShardWorker) -> None:
+        """Refresh a worker's confirmed-point count after a partial apply."""
+        try:
+            worker.points_confirmed = int(
+                self._request(worker, "points_total", None)
+            )
+        except _WorkerDied:
+            # Leave the stale count: the failover that follows replaces
+            # this worker handle, and the replacement's count comes from
+            # its fresh ready report -- a stale value here never persists.
+            pass
+
+    # ------------------------------------------------------------ single-key
+
+    def process(self, key: Hashable, value: float) -> Any:
+        """Ingest one observation for one series on its shard."""
+        worker = self._alive(self.shard_of(key))
+        try:
+            record = self._request(worker, "process", (key, value))
+        except _WorkerDied:
+            self._failover_in_flight(
+                {worker.spec.shard_id: (worker.points_confirmed, 1)}
+            )
+        worker.points_confirmed += 1
+        return record
+
+    def forecast(self, key: Hashable, horizon: int) -> np.ndarray:
+        """Forecast ``horizon`` values ahead for one live series."""
+        worker = self._alive(self.shard_of(key))
+        try:
+            return self._request(worker, "forecast", (key, int(horizon)))
+        except _WorkerDied:
+            self._failover_in_flight(
+                {worker.spec.shard_id: (worker.points_confirmed, 0)}
+            )
+
+    # -------------------------------------------------------------- fleet ops
+
+    def keys(self) -> dict[str, list]:
+        """Every shard's series keys: ``{shard_id: [key, ...]}``."""
+        return {
+            shard_id: self._request(self._alive(shard_id), "keys", None)
+            for shard_id in sorted(self._workers)
+        }
+
+    def stats(self) -> ClusterStats:
+        """Aggregate fleet statistics across every shard."""
+        shards: dict[str, FleetStats] = {}
+        for shard_id in sorted(self._workers):
+            shards[shard_id] = self._request(
+                self._alive(shard_id), "stats", None
+            )
+        return ClusterStats(
+            series_total=sum(s.series_total for s in shards.values()),
+            series_live=sum(s.series_live for s in shards.values()),
+            series_warming=sum(s.series_warming for s in shards.values()),
+            points_total=sum(s.points_total for s in shards.values()),
+            anomalies_total=sum(s.anomalies_total for s in shards.values()),
+            shards=shards,
+        )
+
+    def checkpoint(self) -> dict:
+        """Checkpoint every shard; returns ``{shard_id: CheckpointSummary}``."""
+        return {
+            shard_id: self._request(self._alive(shard_id), "checkpoint", None)
+            for shard_id in sorted(self._workers)
+        }
+
+    # ------------------------------------------------------- shard elasticity
+
+    def _migrate(self, source: _ShardWorker, target: _ShardWorker, keys: list) -> int:
+        """Move ``keys`` from ``source`` to ``target`` (drain, then adopt).
+
+        The source commits the extraction (checkpoint) before the states
+        travel, the target commits the adoption on arrival -- the moved
+        series continue bit-identically.  The router holds the states for
+        the in-between moment; see ``extract_series`` for the crash
+        window trade-off.
+        """
+        if not keys:
+            return 0
+        states = self._request(source, "extract", keys)
+        self._request(target, "adopt", states)
+        source.points_confirmed = int(
+            self._request(source, "points_total", None)
+        )
+        target.points_confirmed = int(
+            self._request(target, "points_total", None)
+        )
+        return len(states)
+
+    def add_shard(self, spec: ShardSpec) -> int:
+        """Grow the cluster by one shard, live-migrating its keys to it.
+
+        Spawns the new worker (on an empty or previously-drained store),
+        adds it to the ring, and drains from every existing shard exactly
+        the keys the ring now assigns to the newcomer (~``1/n`` of the
+        fleet).  Returns the number of series moved.
+        """
+        if self._closed:
+            raise ShardingError("router is closed")
+        if not isinstance(spec, ShardSpec):
+            raise TypeError(f"spec must be a ShardSpec, got {type(spec).__name__}")
+        if spec.shard_id in self._workers:
+            raise ValueError(f"shard {spec.shard_id!r} is already in the cluster")
+        newcomer = self._spawn(spec)
+        self._workers[spec.shard_id] = newcomer
+        self._ring.add_shard(spec.shard_id)
+        moved = 0
+        for shard_id in sorted(self._workers):
+            if shard_id == spec.shard_id:
+                continue
+            source = self._workers[shard_id]
+            resident = self._request(source, "keys", None)
+            moving = [
+                key for key in resident
+                if self._ring.shard_for(key) == spec.shard_id
+            ]
+            moved += self._migrate(source, newcomer, moving)
+        self.cluster = ClusterSpec(
+            engine=self.cluster.engine,
+            shards=self.cluster.shards + (spec,),
+            virtual_nodes=self.cluster.virtual_nodes,
+        )
+        return moved
+
+    def remove_shard(self, shard_id: str) -> int:
+        """Drain a live shard and retire it.  Returns the series moved.
+
+        Every resident series is extracted (committed off the source),
+        re-assigned by the shrunken ring, and adopted by its new shard;
+        the retired worker then checkpoints and exits cleanly, leaving
+        its store drained but intact.
+        """
+        worker = self._alive(shard_id)
+        if len(self._workers) < 2:
+            raise ShardingError(
+                "cannot remove the last shard; close() the router instead"
+            )
+        resident = self._request(worker, "keys", None)
+        self._ring.remove_shard(shard_id)
+        moved = 0
+        try:
+            if resident:
+                parts: dict[str, list] = {}
+                for key in resident:
+                    parts.setdefault(self._ring.shard_for(key), []).append(key)
+                for target_id, keys in sorted(parts.items()):
+                    moved += self._migrate(
+                        worker, self._workers[target_id], keys
+                    )
+        except BaseException:
+            # Put the shard back on the ring: un-moved keys still live on
+            # it, and routing them elsewhere would strand them.
+            self._ring.add_shard(shard_id)
+            raise
+        self._request(worker, "close", True)
+        worker.process.join(timeout=30.0)
+        worker.conn.close()
+        del self._workers[shard_id]
+        self.cluster = ClusterSpec(
+            engine=self.cluster.engine,
+            shards=tuple(
+                shard
+                for shard in self.cluster.shards
+                if shard.shard_id != shard_id
+            ),
+            virtual_nodes=self.cluster.virtual_nodes,
+        )
+        return moved
+
+    # -------------------------------------------------------------- lifecycle
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close(checkpoint=exc_type is None)
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Shut every worker down (checkpointing first by default)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers.values():
+            try:
+                worker.conn.send(("close", checkpoint))
+            except (BrokenPipeError, OSError):
+                continue
+        for worker in self._workers.values():
+            try:
+                if worker.conn.poll(30.0):
+                    worker.conn.recv()
+            except (EOFError, OSError):
+                pass
+            worker.process.join(timeout=30.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=5.0)
+            worker.conn.close()
+        self._workers = {}

@@ -1,0 +1,184 @@
+"""Declarative cluster configuration: shards as data.
+
+A sharded deployment is described the same way everything else in this
+codebase is -- as JSON-able frozen dataclasses that round-trip through
+``to_dict``/``from_dict`` (and ``to_json``/``from_json``), mirroring
+:mod:`repro.specs`:
+
+* :class:`ShardSpec` -- one worker: a stable ``shard_id`` (its identity
+  on the consistent-hash ring) plus the filesystem path of its
+  :class:`~repro.durability.DirectoryCheckpointStore`;
+* :class:`ClusterSpec` -- the whole tier: the shared
+  :class:`~repro.specs.EngineSpec` every worker runs, the shard list,
+  and the ring's ``virtual_nodes``.
+
+Because a cluster spec is plain data it can live in a config file, ship
+to an orchestrator, or be rebuilt from the JSON alone -- and because each
+shard's *state* lives entirely in its store, a cluster spec plus the
+store directories is a complete, restartable description of a running
+tier.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.sharding.hashring import DEFAULT_VIRTUAL_NODES
+from repro.specs import EngineSpec
+
+__all__ = ["ClusterSpec", "ShardSpec"]
+
+
+def _reject_unknown_keys(data: Mapping, allowed: tuple, context: str) -> None:
+    unknown = set(data) - set(allowed)
+    if unknown:
+        raise ValueError(
+            f"{context}: unknown keys {sorted(unknown)}; expected a subset "
+            f"of {list(allowed)}"
+        )
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard: a ring identity plus its checkpoint-store location."""
+
+    shard_id: str
+    store_path: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.shard_id, str) or not self.shard_id:
+            raise ValueError("ShardSpec.shard_id must be a non-empty string")
+        if not isinstance(self.store_path, str) or not self.store_path:
+            raise ValueError("ShardSpec.store_path must be a non-empty string")
+
+    def to_dict(self) -> dict:
+        return {"shard_id": self.shard_id, "store_path": self.store_path}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ShardSpec":
+        _reject_unknown_keys(data, ("shard_id", "store_path"), cls.__name__)
+        for required in ("shard_id", "store_path"):
+            if required not in data:
+                raise ValueError(
+                    f"ShardSpec: missing required key {required!r}"
+                )
+        return cls(
+            shard_id=data["shard_id"], store_path=data["store_path"]
+        )
+
+    def to_json(self, **dumps_kwargs) -> str:
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A whole sharded tier: shared engine spec + shard list + ring shape."""
+
+    engine: EngineSpec
+    shards: tuple = ()
+    virtual_nodes: int = DEFAULT_VIRTUAL_NODES
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.engine, EngineSpec):
+            raise ValueError("ClusterSpec.engine must be an EngineSpec")
+        shards = tuple(self.shards)
+        if not shards:
+            raise ValueError("ClusterSpec.shards must name at least one shard")
+        seen_ids: set[str] = set()
+        seen_paths: set[str] = set()
+        for shard in shards:
+            if not isinstance(shard, ShardSpec):
+                raise ValueError(
+                    "ClusterSpec.shards entries must be ShardSpec instances"
+                )
+            if shard.shard_id in seen_ids:
+                raise ValueError(
+                    f"ClusterSpec: duplicate shard_id {shard.shard_id!r}"
+                )
+            if shard.store_path in seen_paths:
+                raise ValueError(
+                    f"ClusterSpec: duplicate store_path {shard.store_path!r} "
+                    "(two shards writing one store would corrupt it; the "
+                    "store ownership lock would reject the second anyway)"
+                )
+            seen_ids.add(shard.shard_id)
+            seen_paths.add(shard.store_path)
+        object.__setattr__(self, "shards", shards)
+        if (
+            not isinstance(self.virtual_nodes, int)
+            or isinstance(self.virtual_nodes, bool)
+            or self.virtual_nodes < 1
+        ):
+            raise ValueError("ClusterSpec.virtual_nodes must be an int >= 1")
+
+    @classmethod
+    def for_root(
+        cls,
+        engine: EngineSpec,
+        root: "str | os.PathLike",
+        n_shards: int,
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+    ) -> "ClusterSpec":
+        """Conventional layout: ``n_shards`` stores under one directory.
+
+        Shard ids are ``shard-000`` ... and each store lives at
+        ``<root>/<shard_id>`` -- the quick way to stand up a local tier.
+        """
+        if not isinstance(n_shards, int) or n_shards < 1:
+            raise ValueError("n_shards must be an int >= 1")
+        root = os.fspath(root)
+        shards = tuple(
+            ShardSpec(
+                shard_id=f"shard-{index:03d}",
+                store_path=os.path.join(root, f"shard-{index:03d}"),
+            )
+            for index in range(n_shards)
+        )
+        return cls(engine=engine, shards=shards, virtual_nodes=virtual_nodes)
+
+    def shard(self, shard_id: str) -> ShardSpec:
+        """The :class:`ShardSpec` named ``shard_id`` (``KeyError`` if absent)."""
+        for shard in self.shards:
+            if shard.shard_id == shard_id:
+                return shard
+        raise KeyError(f"cluster has no shard {shard_id!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "engine": self.engine.to_dict(),
+            "shards": [shard.to_dict() for shard in self.shards],
+            "virtual_nodes": self.virtual_nodes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ClusterSpec":
+        allowed = ("engine", "shards", "virtual_nodes")
+        _reject_unknown_keys(data, allowed, cls.__name__)
+        for required in ("engine", "shards"):
+            if required not in data:
+                raise ValueError(
+                    f"ClusterSpec: missing required key {required!r}"
+                )
+        spec = {
+            "engine": EngineSpec.from_dict(data["engine"]),
+            "shards": tuple(
+                ShardSpec.from_dict(entry) for entry in data["shards"]
+            ),
+        }
+        if "virtual_nodes" in data:
+            spec["virtual_nodes"] = data["virtual_nodes"]
+        return cls(**spec)
+
+    def to_json(self, **dumps_kwargs) -> str:
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClusterSpec":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,198 @@
+"""Shard worker: one process, one durable engine session, one store.
+
+:func:`worker_main` is the entry point the router spawns (module-level so
+it imports under both the ``fork`` and ``spawn`` start methods).  A
+worker is deliberately boring: it opens its
+:class:`~repro.durability.DirectoryCheckpointStore` **exclusively** (the
+ownership lease is what makes failover safe -- a SIGKILLed worker's
+lease reads stale by dead pid and the replacement takes it over), opens
+or crash-recovers a :class:`~repro.streaming.MultiSeriesEngine` session
+on it, reports readiness, and then serves a synchronous command loop
+over its pipe: one pickled request in, one pickled reply out.
+
+The hot path is ``ingest``: the router ships this worker's slice of a
+columnar batch as a ``(round_keys, grid)`` pair -- **one message per
+shard per batch**, never per-point IPC -- and the worker feeds it to
+:meth:`~repro.streaming.MultiSeriesEngine.ingest_grid`, WAL-appending
+before state advances as always, then replies with the
+:class:`~repro.streaming.IngestResult` arrays for fan-in.
+
+Validation failures (bad values, unknown keys) are replied as ``error``
+messages and the loop continues; the worker only exits on ``close``, a
+broken pipe (router gone), or a crash.  Fault injection for the
+cross-process kill-point oracle arms the store's ``fault_hook`` to
+``SIGKILL`` the process at a named durability boundary -- a real kill,
+exercising real recovery.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from typing import Any
+
+from repro.durability import DirectoryCheckpointStore
+from repro.durability.lock import DEFAULT_STALE_AFTER
+from repro.specs import EngineSpec
+from repro.streaming.engine import MultiSeriesEngine
+
+__all__ = ["worker_main"]
+
+
+def _arm_kill(
+    store: DirectoryCheckpointStore, kill_point: str, kill_after: int
+) -> None:
+    """SIGKILL this process at the ``kill_after``-th hit of ``kill_point``.
+
+    SIGKILL (not an exception) so nothing -- no ``finally``, no atexit,
+    no checkpoint-on-close -- runs after the boundary: the surviving
+    on-disk state is exactly what a hardware-level process death leaves.
+    """
+    remaining = kill_after
+
+    def hook(point: str) -> None:
+        nonlocal remaining
+        if point != kill_point:
+            return
+        remaining -= 1
+        if remaining <= 0:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    store.fault_hook = hook
+
+
+def _points_total(engine: MultiSeriesEngine) -> int:
+    """Total observations applied, without materializing fleet stats."""
+    return sum(engine._series_marker(key) for key in engine.keys())
+
+
+def worker_main(
+    conn: Any,
+    shard_id: str,
+    store_path: str,
+    spec_dict: dict,
+    options: dict | None = None,
+) -> None:
+    """Run one shard worker until ``close`` or process death.
+
+    Parameters
+    ----------
+    conn:
+        The worker end of a ``multiprocessing.Pipe`` (duplex).
+    shard_id:
+        This shard's ring identity (used only for error context here).
+    store_path:
+        Root directory of this shard's checkpoint store.
+    spec_dict:
+        The cluster's :class:`~repro.specs.EngineSpec` as a dict.  Always
+        passed to ``MultiSeriesEngine.open`` -- on a populated store it
+        cross-checks the manifest, so a worker pointed at the wrong
+        shard's store fails loudly instead of serving someone else's
+        series.
+    options:
+        ``wal_sync`` / ``stale_after`` store knobs;
+        ``checkpoint_interval`` engine knob; ``kill_point`` +
+        ``kill_after`` arm the fault-injection SIGKILL (tests only).
+    """
+    options = options or {}
+    spec = EngineSpec.from_dict(spec_dict)
+    try:
+        store = DirectoryCheckpointStore(
+            store_path,
+            wal_sync=bool(options.get("wal_sync", False)),
+            exclusive=True,
+            stale_after=options.get("stale_after", DEFAULT_STALE_AFTER),
+        )
+        had_state = store.read_manifest() is not None
+        engine = MultiSeriesEngine.open(store, spec=spec)
+        if options.get("checkpoint_interval") is not None:
+            engine.checkpoint_interval = int(options["checkpoint_interval"])
+        kill_point = options.get("kill_point")
+        if kill_point is not None:
+            _arm_kill(store, str(kill_point), int(options.get("kill_after", 1)))
+    except BaseException as error:  # noqa: BLE001 -- reported, then re-raised
+        try:
+            conn.send(("fatal", f"{type(error).__name__}: {error}"))
+        except OSError:
+            pass
+        raise
+    conn.send(
+        (
+            "ready",
+            {
+                "pid": os.getpid(),
+                "shard_id": shard_id,
+                "recovered": had_state,
+                "points_total": _points_total(engine),
+            },
+        )
+    )
+
+    while True:
+        try:
+            command, payload = conn.recv()
+        except (EOFError, OSError):
+            # Router gone: park the state safely and exit.
+            engine.close(checkpoint=True)
+            return
+        store.heartbeat()
+        try:
+            if command == "ingest":
+                round_keys, grid = payload
+                result = engine.ingest_grid(round_keys, grid)
+                reply: Any = (
+                    result.index,
+                    result.value,
+                    result.trend,
+                    result.seasonal,
+                    result.residual,
+                    result.anomaly_score,
+                    result.is_anomaly,
+                    result.detection_residual,
+                    result.live,
+                )
+            elif command == "ingest_rows":
+                keys, values = payload
+                result = engine.ingest((list(keys), values), columnar_results=True)
+                reply = (
+                    result.index,
+                    result.value,
+                    result.trend,
+                    result.seasonal,
+                    result.residual,
+                    result.anomaly_score,
+                    result.is_anomaly,
+                    result.detection_residual,
+                    result.live,
+                )
+            elif command == "process":
+                key, value = payload
+                reply = engine.process(key, value)
+            elif command == "forecast":
+                key, horizon = payload
+                reply = engine.forecast(key, horizon)
+            elif command == "stats":
+                reply = engine.fleet_stats()
+            elif command == "keys":
+                reply = engine.keys()
+            elif command == "points_total":
+                reply = _points_total(engine)
+            elif command == "checkpoint":
+                reply = engine.checkpoint()
+            elif command == "extract":
+                reply = engine.extract_series(payload)
+            elif command == "adopt":
+                engine.adopt_series(payload)
+                reply = len(payload)
+            elif command == "ping":
+                reply = "pong"
+            elif command == "close":
+                engine.close(checkpoint=bool(payload))
+                conn.send(("ok", None))
+                return
+            else:
+                raise ValueError(f"unknown worker command {command!r}")
+        except (ValueError, TypeError, KeyError, RuntimeError) as error:
+            conn.send(("error", (type(error).__name__, str(error))))
+            continue
+        conn.send(("ok", reply))

@@ -493,7 +493,26 @@ class _FleetGroup:
 
     @property
     def n_series(self) -> int:
-        return len(self.keys)
+        """Live (non-vacated) members of the group."""
+        return len(self.column_of)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of columns holding a live member (1.0 = no vacancies)."""
+        return len(self.column_of) / len(self.keys) if self.keys else 1.0
+
+    def vacate(self, column: int, key: Hashable) -> None:
+        """Mark ``column`` dead after its series leaves the engine.
+
+        The column's kernel state stays in place but nothing routes to it
+        anymore (it is out of ``column_of``), so it is never advanced,
+        synced or exported again.  Dead columns cost array width -- full
+        in-place rounds become gathered sub-kernel rounds -- until the
+        engine re-homes the survivors (see
+        ``MultiSeriesEngine._rebalance_groups``).
+        """
+        self.column_of.pop(key, None)
+        self.keys[column] = None
 
     def absorb(self, keys: list, states: list) -> None:
         """Append a cohort of live series to the columnar arrays at once.
@@ -716,6 +735,13 @@ class MultiSeriesEngine:
         #: overhead than the scalar loop it replaces, so tiny fleets (and
         #: single-key batches) stay on the scalar path.
         self.kernel_min_cohort = 8
+        #: smallest live-member fraction a kernel group may fall to before
+        #: its survivors are re-homed: extraction (shard migration) leaves
+        #: dead columns behind, and a sparse group pays full-width array
+        #: ops for a shrinking cohort.  Survivors released below this
+        #: occupancy re-absorb into a fresh dense group on the next
+        #: batched ingest, bit-identically.
+        self.group_min_occupancy = 0.5
         self._groups: dict[str, _FleetGroup] = {}
         self._absorbed: dict[Hashable, tuple[_FleetGroup, int]] = {}
         self._never_absorb: set = set()
@@ -997,6 +1023,47 @@ class MultiSeriesEngine:
         ingest cost versus the eager record list.
         """
         return self.ingest(batch, columnar_results=True)
+
+    def ingest_grid(
+        self,
+        round_keys: Sequence[Hashable],
+        grid: np.ndarray,
+        *,
+        columnar_results: bool = True,
+    ) -> "IngestResult | list[EngineRecord]":
+        """Ingest a pre-normalized round-major ``(L, n)`` value grid.
+
+        Equivalent to ``ingest({key: grid[:, j] for j, key in
+        enumerate(round_keys)})`` without rebuilding (and re-validating,
+        re-stacking) the dict: column ``j`` holds ``L`` consecutive
+        observations of ``round_keys[j]``, applied round by round.  This
+        is the shard-transport entry point -- a
+        :class:`~repro.sharding.ShardRouter` ships each worker its slice
+        of a batch as a ``(keys, grid)`` pair, and the worker feeds it
+        straight to the engine's columnar fast path.  Results default to
+        columnar (:class:`IngestResult`), the form that fans back in as
+        arrays.
+
+        WAL and auto-checkpoint semantics match :meth:`ingest` exactly:
+        in a durable session the grid is logged in one record before any
+        state advances.
+        """
+        round_keys = list(round_keys)
+        grid = np.asarray(grid, dtype=float)
+        if grid.ndim != 2 or grid.shape[1] != len(round_keys):
+            raise ValueError(
+                "ingest_grid() expects a round-major (L, n) grid with one "
+                f"column per key; got shape {grid.shape} for "
+                f"{len(round_keys)} keys"
+            )
+        if len(set(round_keys)) != len(round_keys):
+            raise ValueError("ingest_grid() keys must be unique")
+        self._wal_append("grid", round_keys, grid)
+        result = self._with_wal_suppressed(
+            self._ingest_grid, round_keys, grid, columnar_results
+        )
+        self._maybe_auto_checkpoint()
+        return result
 
     @staticmethod
     def _grid_from_dict(batch: dict) -> tuple[list, np.ndarray]:
@@ -1374,6 +1441,40 @@ class MultiSeriesEngine:
         self._absorbed = {}
         self._never_absorb = set()
 
+    def _rebalance_groups(self) -> None:
+        """Re-home the members of sparse kernel groups (post-churn compaction).
+
+        Extraction vacates columns without shrinking the arrays, so after
+        enough churn a group advances a wide kernel for a thinning cohort
+        and its full-round (in-place, no gather/scatter) path becomes
+        unreachable.  Groups whose occupancy falls below
+        :attr:`group_min_occupancy` are dissolved: the survivors' object
+        state is materialized (batched) and they return to the scalar
+        path, from which the next batched ingest re-absorbs them into a
+        fresh, dense group.  Scalar and kernel paths produce identical
+        state, so re-homing never perturbs the stream.
+        """
+        dissolved = []
+        for spec_key, group in self._groups.items():
+            if group.n_series and group.occupancy >= self.group_min_occupancy:
+                continue
+            survivors = [
+                (column, key)
+                for column, key in enumerate(group.keys)
+                if key is not None
+            ]
+            if survivors:
+                columns = np.array(
+                    [column for column, _key in survivors], dtype=np.intp
+                )
+                states = [self._series[key] for _column, key in survivors]
+                group.sync_members(columns, states)
+                for _column, key in survivors:
+                    del self._absorbed[key]
+            dissolved.append(spec_key)
+        for spec_key in dissolved:
+            del self._groups[spec_key]
+
     # ------------------------------------------------------------- fleet API
 
     def __len__(self) -> int:
@@ -1425,6 +1526,103 @@ class MultiSeriesEngine:
             anomalies_total=sum(stats.anomalies for stats in per_series.values()),
             per_series=per_series,
         )
+
+    # ------------------------------------- series migration (shard handoff)
+
+    def extract_series(self, keys: Iterable[Hashable]) -> dict:
+        """Remove the given series from this engine and return their state.
+
+        The returned mapping ``{key: state}`` holds each series' complete,
+        materialized state (pipeline, warmup buffer, counters, latency
+        ring) -- the same per-series objects a checkpoint carries, so it
+        pickles across process boundaries -- ready to hand to
+        :meth:`adopt_series` on another engine.  Extraction is the drain
+        half of a live shard migration.
+
+        Kernel-absorbed series are synced out first and their columns
+        vacated; groups whose occupancy falls below
+        :attr:`group_min_occupancy` are dissolved and their survivors
+        re-homed (see ``_rebalance_groups``).  Durable cohorts that held
+        an extracted key are forced dirty, and in a durable session the
+        extraction is committed with an immediate :meth:`checkpoint`
+        before returning: extraction is a control-plane operation with no
+        WAL representation, so the manifest must move past it atomically
+        -- otherwise a crash would recover the extracted series into
+        *this* engine while another engine also serves them.  (The
+        migration coordinator holds the returned states until the target
+        engine has committed its :meth:`adopt_series`; a coordinator
+        crash inside that window loses the in-flight series, which is the
+        usual hand-off trade against duplicating them.)
+
+        Unknown keys raise ``KeyError`` before anything is touched.
+        """
+        keys = list(keys)
+        unknown = [key for key in keys if key not in self._series]
+        if unknown:
+            raise KeyError(
+                f"cannot extract series not in this engine: {unknown!r}"
+            )
+        if len(set(keys)) != len(keys):
+            raise ValueError("extract_series() keys must be unique")
+        self._sync_keys(keys)
+        extracted = {}
+        touched_cohorts = set()
+        for key in keys:
+            location = self._absorbed.pop(key, None)
+            if location is not None:
+                group, column = location
+                group.vacate(column, key)
+            self._never_absorb.discard(key)
+            extracted[key] = self._series.pop(key)
+            cohort_id = self._cohort_of.pop(key, None)
+            if cohort_id is not None:
+                self._cohort_members[cohort_id].remove(key)
+                touched_cohorts.add(cohort_id)
+        for cohort_id in touched_cohorts:
+            # Dropping the cohort's markers forces it dirty: its existing
+            # segment still contains the extracted series, and a
+            # clean-reading cohort would let recovery resurrect them.
+            self._cohort_markers.pop(cohort_id, None)
+            if not self._cohort_members[cohort_id]:
+                del self._cohort_members[cohort_id]
+                self._cohort_segments.pop(cohort_id, None)
+        self._rebalance_groups()
+        if self._store is not None:
+            self.checkpoint()
+        return extracted
+
+    def adopt_series(self, states: dict) -> None:
+        """Install series extracted from another engine (shard handoff).
+
+        ``states`` is the mapping returned by :meth:`extract_series` --
+        same process or unpickled from another one.  Adopted series keep
+        their exact stream position: the next observation each one sees
+        continues bit-identically to never having moved (the engine's
+        scalar and kernel paths guarantee this; adopted live series are
+        re-absorbed lazily by the next batched ingest).  Keys already
+        present in this engine are rejected before anything is installed.
+
+        In a durable session the adoption is committed with an immediate
+        :meth:`checkpoint` before returning, so once this method returns
+        the migration's target side is crash-safe.
+        """
+        if not isinstance(states, dict) or not all(
+            isinstance(state, _SeriesState) for state in states.values()
+        ):
+            raise TypeError(
+                "adopt_series() takes the mapping returned by "
+                "extract_series(): {key: per-series state}"
+            )
+        duplicates = [key for key in states if key in self._series]
+        if duplicates:
+            raise ValueError(
+                "cannot adopt series already present in this engine: "
+                f"{duplicates!r}"
+            )
+        for key, state in states.items():
+            self._series[key] = state
+        if self._store is not None and states:
+            self.checkpoint()
 
     # ------------------------------------------------------ durable sessions
 

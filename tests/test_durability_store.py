@@ -8,7 +8,10 @@ recovery oracle (``tests/test_checkpoint.py``) builds on exactly these
 guarantees.
 """
 
+import json
+import os
 import pickle
+import time
 
 import pytest
 
@@ -19,6 +22,8 @@ from repro.durability import (
     CorruptCheckpointError,
     DirectoryCheckpointStore,
     SingleSnapshotStore,
+    StoreLock,
+    StoreLockedError,
     atomic_write_bytes,
     migrate_snapshot_payload,
 )
@@ -312,3 +317,104 @@ class TestSingleSnapshotStore:
         store = SingleSnapshotStore(PathLikeWrapper(tmp_path / "snap.ckpt"))
         store.write({"ok": True})
         assert SingleSnapshotStore(tmp_path / "snap.ckpt").read() == {"ok": True}
+
+
+class TestStoreLock:
+    """The ownership lease: one writer process per store."""
+
+    def _lock(self, tmp_path, **kwargs):
+        return StoreLock(tmp_path / "LOCK", **kwargs)
+
+    def test_acquire_writes_holder_document(self, tmp_path):
+        with self._lock(tmp_path) as lock:
+            holder = lock.read_holder()
+            assert holder["pid"] == os.getpid()
+            assert lock.held
+        assert not lock.held
+        assert lock.read_holder() is None  # released ⇒ file gone
+
+    def test_second_claimant_is_refused_and_told_who_holds_it(self, tmp_path):
+        with self._lock(tmp_path):
+            with pytest.raises(StoreLockedError) as error:
+                self._lock(tmp_path).acquire()
+            assert error.value.holder["pid"] == os.getpid()
+            assert str(os.getpid()) in str(error.value)
+
+    def test_release_then_reacquire(self, tmp_path):
+        first = self._lock(tmp_path).acquire()
+        first.release()
+        with self._lock(tmp_path):
+            pass
+
+    def test_dead_pid_lease_is_taken_over(self, tmp_path):
+        """The SIGKILLed-worker case: holder pid no longer exists."""
+        path = tmp_path / "LOCK"
+        path.write_text(json.dumps({"pid": _unused_pid(), "host": "gone"}))
+        with self._lock(tmp_path) as lock:
+            assert lock.read_holder()["pid"] == os.getpid()
+
+    def test_stale_heartbeat_lease_is_taken_over(self, tmp_path):
+        """A live-pid lease whose mtime has aged out is reclaimable."""
+        path = tmp_path / "LOCK"
+        path.write_text(json.dumps({"pid": os.getpid()}))
+        long_ago = time.time() - 3600
+        os.utime(path, (long_ago, long_ago))
+        with self._lock(tmp_path, stale_after=1.0) as lock:
+            assert lock.held
+
+    def test_stale_after_none_disables_the_mtime_horizon(self, tmp_path):
+        path = tmp_path / "LOCK"
+        path.write_text(json.dumps({"pid": os.getpid()}))
+        long_ago = time.time() - 3600
+        os.utime(path, (long_ago, long_ago))
+        with pytest.raises(StoreLockedError):
+            self._lock(tmp_path, stale_after=None).acquire()
+
+    def test_unparseable_lease_is_reclaimable(self, tmp_path):
+        (tmp_path / "LOCK").write_bytes(b"\x00 not json at all")
+        long_ago = time.time() - 3600
+        os.utime(tmp_path / "LOCK", (long_ago, long_ago))
+        with self._lock(tmp_path, stale_after=1.0) as lock:
+            assert lock.held
+
+    def test_heartbeat_refreshes_mtime(self, tmp_path):
+        with self._lock(tmp_path) as lock:
+            long_ago = time.time() - 3600
+            os.utime(lock.path, (long_ago, long_ago))
+            lock.heartbeat()
+            assert time.time() - lock.path.stat().st_mtime < 60
+
+    def test_heartbeat_and_release_survive_a_vanished_file(self, tmp_path):
+        lock = self._lock(tmp_path).acquire()
+        lock.path.unlink()
+        lock.heartbeat()  # must not raise
+        lock.release()  # must not raise
+
+    def test_exclusive_store_integration(self, tmp_path):
+        """``DirectoryCheckpointStore(exclusive=True)`` rides the lease."""
+        store = DirectoryCheckpointStore(tmp_path / "store", exclusive=True)
+        with pytest.raises(StoreLockedError):
+            DirectoryCheckpointStore(tmp_path / "store", exclusive=True)
+        store.close()
+        second = DirectoryCheckpointStore(tmp_path / "store", exclusive=True)
+        second.close()
+
+    def test_non_exclusive_store_ignores_the_lease(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store", exclusive=True)
+        relaxed = DirectoryCheckpointStore(tmp_path / "store")  # advisory
+        relaxed.close()
+        store.close()
+
+
+def _unused_pid() -> int:
+    """A pid that does not name a live process (probe downward from max)."""
+    candidate = 2**22 - 1
+    while candidate > 1:
+        try:
+            os.kill(candidate, 0)
+        except ProcessLookupError:
+            return candidate
+        except OSError:
+            pass
+        candidate -= 1
+    raise RuntimeError("no free pid found")
