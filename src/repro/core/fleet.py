@@ -37,6 +37,7 @@ absorption and checkpoint (de)materialization live in the streaming engine
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 import numpy as np
@@ -60,6 +61,12 @@ __all__ = ["ColumnarNSigma", "FleetKernel", "FleetUpdate"]
 #: variable, which always sits at local index ``HALF_BANDWIDTH``).
 _PATTERN_ROWS = HALF_BANDWIDTH + ContributionWorkspace._ROW_OFFSETS
 _PATTERN_COLS = HALF_BANDWIDTH + ContributionWorkspace._COL_OFFSETS
+
+#: ceiling on the rounds advanced per staged run of :meth:`FleetKernel.
+#: update_block`.  Runs must not exceed ``period`` (a longer run would
+#: read a seasonal slot an earlier round of the same run wrote); the
+#: constant additionally bounds the blocked workspaces for huge periods.
+_MAX_BLOCK_ROUNDS = 64
 
 
 class ColumnarNSigma:
@@ -205,6 +212,38 @@ class ColumnarNSigma:
         self.m2 += delta * (values - self.mean)
         return scores, flags
 
+    @hotpath
+    def update_stats(self, values: np.ndarray) -> None:
+        """Fold ``values`` into the Welford statistics without scoring.
+
+        Exactly the mutation half of :meth:`update` (scoring reads but
+        never writes), so the statistics evolve identically whether or
+        not the caller wanted the scores -- the blocked kernel path
+        scores separately only when the shift search needs the verdicts.
+        """
+        self.count += 1
+        delta = values - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (values - self.mean)
+
+    @hotpath
+    def update_block(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Score-and-update a ``(rounds, n)`` block, one round at a time.
+
+        The Welford recurrence is sequential across rounds, so each round
+        replays :meth:`update`'s exact operation order; the stacked
+        ``(rounds, n)`` scores and verdicts equal per-round calls float
+        for float.
+        """
+        n_rounds = values.shape[0]
+        scores = np.empty(values.shape)
+        flags = np.empty(values.shape, dtype=bool)
+        for index in range(n_rounds):
+            row_scores, row_flags = self.update(values[index])
+            scores[index] = row_scores
+            flags[index] = row_flags
+        return scores, flags
+
 
 class FleetUpdate:
     """Per-point outputs of one :meth:`FleetKernel.update` call.
@@ -272,6 +311,19 @@ class FleetKernel:
         self._arange: np.ndarray | None = None
         self._pattern_values: np.ndarray | None = None
         self._rhs_values: np.ndarray | None = None
+        # Round-blocked workspaces (update_block): per-iteration trend
+        # histories, staged right-hand sides, per-round seasonal phases
+        # and the non-final-iteration seasonal scratch row.
+        self._block_hists: list[np.ndarray] | None = None
+        self._block_rhs: np.ndarray | None = None
+        self._block_phases: np.ndarray | None = None
+        self._block_seasonal: np.ndarray | None = None
+        # First-iteration pattern values are round-invariant (the raw
+        # lambdas), so they are staged once per run; the reweighting
+        # scratch rows avoid per-iteration temporaries.
+        self._block_pattern0: np.ndarray | None = None
+        self._block_weight_p: np.ndarray | None = None
+        self._block_weight_q: np.ndarray | None = None
 
     def _rows(self) -> np.ndarray:
         """``np.arange(n_series)`` (cached; used for per-series gathers)."""
@@ -637,7 +689,409 @@ class FleetKernel:
         np.copyto(self.last_detection_residual, detection_residual)
         return FleetUpdate(values, trend, seasonal, residual, detection_residual)
 
+    @hotpath
+    def update_block(
+        self, values: np.ndarray, columns: np.ndarray | None = None
+    ) -> FleetUpdate:
+        """Decompose a ``(rounds, n)`` block of observations round by round.
+
+        Semantically identical (float for float, shift searches, errors
+        and all) to calling :meth:`update` once per row of ``values``, but
+        all-finite stretches of rounds advance as one *staged run*: the
+        solver extends skip validation and pivot guards over pre-staged
+        scratch (:meth:`BatchedIncrementalLDLT.extend_solve`), the
+        per-iteration trend recurrences run over a block-resident history
+        instead of copying state per round, and seasonal-buffer scatters
+        plus the phase counters commit once per run.  A run ends early --
+        and the remaining rounds re-stage -- whenever a round contains a
+        missing observation, trips the seasonality-shift search, or goes
+        non-finite under the unguarded solves (that round replays on the
+        guarded per-round path, reproducing the exact scalar behavior).
+
+        The returned :class:`FleetUpdate` carries ``(rounds, n)`` arrays.
+        """
+        if columns is not None:
+            columns = np.asarray(columns, dtype=np.intp)
+            sub = self.select(columns)
+            result = sub.update_block(np.asarray(values, dtype=float))
+            self.assign(columns, sub)
+            return result
+        n = self._n
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] != n:
+            raise ValueError(f"values must have shape (rounds, {n})")
+        n_rounds = values.shape[0]
+        value_out = values.copy()
+        trend_out = np.empty((n_rounds, n))
+        seasonal_out = np.empty((n_rounds, n))
+        residual_out = np.empty((n_rounds, n))
+        detection_out = np.empty((n_rounds, n))
+        clean = np.isfinite(values).all(axis=1)
+        run_cap = min(self.period, _MAX_BLOCK_ROUNDS)
+        row = 0
+        while row < n_rounds:
+            if not clean[row]:
+                # Rounds with missing observations impute from live state;
+                # the per-round path handles them exactly.
+                result = self.update(values[row])
+                value_out[row] = result.value
+                trend_out[row] = result.trend
+                seasonal_out[row] = result.seasonal
+                residual_out[row] = result.residual
+                detection_out[row] = result.detection_residual
+                row += 1
+                continue
+            stop = row + 1
+            limit = min(n_rounds, row + run_cap)
+            while stop < limit and clean[stop]:
+                stop += 1
+            row = self._advance_block(
+                values,
+                row,
+                stop,
+                trend_out,
+                seasonal_out,
+                residual_out,
+                detection_out,
+            )
+        return FleetUpdate(
+            value_out, trend_out, seasonal_out, residual_out, detection_out
+        )
+
     # ------------------------------------------------------------- internals
+
+    @hotpath
+    def _advance_block(
+        self,
+        values: np.ndarray,
+        start: int,
+        stop: int,
+        trend_out: np.ndarray,
+        seasonal_out: np.ndarray,
+        residual_out: np.ndarray,
+        detection_out: np.ndarray,
+    ) -> int:
+        """Advance the all-finite rounds ``[start, stop)`` as one staged run.
+
+        Returns the index one past the last round actually advanced: the
+        whole run normally, or less when a shift-search trigger or a
+        non-finite solve ended the run early.  ``stop - start`` never
+        exceeds ``min(period, _MAX_BLOCK_ROUNDS)``, which guarantees no
+        round of the run reads a seasonal slot an earlier round wrote --
+        the precondition for staging anchors and deferring the seasonal
+        scatter to run end.
+        """
+        n = self._n
+        n_rounds = stop - start
+        rows = self._rows()
+        period = self.period
+        hists, rhs_block, phases, pattern_values = self._block_workspaces(n_rounds)
+        states = self.iteration_states
+        solvers = [state.solver for state in states]
+        n_iterations = len(states)
+        last = n_iterations - 1
+        # Seed each iteration's trend history with its pre-run pair and
+        # stage the shared right-hand sides and seasonal phases for the
+        # whole run up front.
+        for iteration in range(n_iterations):
+            hist = hists[iteration]
+            state = states[iteration]
+            np.copyto(hist[0], state.before_previous_trend)
+            np.copyto(hist[1], state.previous_trend)
+            solvers[iteration].begin_extend_block(2, _PATTERN_ROWS, _PATTERN_COLS)
+        phases_view = phases[:n_rounds]
+        np.remainder(
+            self.global_index[None, :] + np.arange(n_rounds)[:, None],
+            period,
+            out=phases_view,
+        )
+        rhs_view = rhs_block[:n_rounds]
+        rhs_view[:, 0] = values[start:stop]
+        np.add(
+            values[start:stop],
+            self.seasonal_buffer[rows[None, :], phases_view],
+            out=rhs_view[:, 1],
+        )
+        lambda1 = self.lambda1
+        lambda2 = self.lambda2
+        epsilon = self.epsilon
+        shift_window = self.shift_window
+        monitor = self.monitor
+        seasonal_scratch = self._block_seasonal
+        hist_last = hists[last]
+        pattern0 = self._block_pattern0
+        weight_p = self._block_weight_p
+        weight_q = self._block_weight_q
+        pattern_values[:4] = 1.0
+        for r in range(n_rounds):
+            rhs_r = rhs_view[r]
+            for iteration in range(n_iterations):
+                if iteration == 0:
+                    # next_p/next_q start each round at 1.0, so the first
+                    # iteration's weights are the raw lambdas
+                    # (x * 1.0 == x bit for bit) -- the round-invariant
+                    # pattern0 buffer staged by _block_workspaces.
+                    values_buffer = pattern0
+                else:
+                    # The same per-row products as the scalar sequence
+                    # (multiplication commutes bitwise; rows 5/9/11/12 are
+                    # copies of already-computed rows), written without
+                    # intermediate temporaries.
+                    np.multiply(weight_p, lambda1, out=pattern_values[4])
+                    pattern_values[5] = pattern_values[4]
+                    np.negative(pattern_values[4], out=pattern_values[6])
+                    np.multiply(weight_q, lambda2, out=pattern_values[7])
+                    np.multiply(pattern_values[7], 4.0, out=pattern_values[8])
+                    pattern_values[9] = pattern_values[7]
+                    np.multiply(pattern_values[7], -2.0, out=pattern_values[10])
+                    pattern_values[11] = pattern_values[7]
+                    pattern_values[12] = pattern_values[10]
+                    values_buffer = pattern_values
+                hist = hists[iteration]
+                trend_row = hist[r + 2]
+                if iteration == last:
+                    seasonal_row = seasonal_out[start + r]
+                else:
+                    seasonal_row = seasonal_scratch
+                solvers[iteration].extend_solve(
+                    values_buffer, rhs_r, trend_row, seasonal_row
+                )
+                if iteration != last:
+                    # The final iteration's reweighting is dead (weights
+                    # reset each round), so it is skipped.  Same operation
+                    # sequence as the scalar 0.5 / max(|diff|, eps), into
+                    # the reused weight rows.
+                    previous = hist[r + 1]
+                    np.subtract(trend_row, previous, out=weight_p)
+                    np.absolute(weight_p, out=weight_p)
+                    np.maximum(weight_p, epsilon, out=weight_p)
+                    np.divide(0.5, weight_p, out=weight_p)
+                    np.multiply(previous, 2.0, out=weight_q)
+                    np.subtract(trend_row, weight_q, out=weight_q)
+                    np.add(weight_q, hist[r], out=weight_q)
+                    np.absolute(weight_q, out=weight_q)
+                    np.maximum(weight_q, epsilon, out=weight_q)
+                    np.divide(0.5, weight_q, out=weight_q)
+            trend_row = hist_last[r + 2]
+            seasonal_row = seasonal_out[start + r]
+            if not (
+                math.isfinite(float(trend_row.sum()))
+                and math.isfinite(float(seasonal_row.sum()))
+            ):
+                return self._blocked_abort_round(
+                    values,
+                    start,
+                    r,
+                    phases_view,
+                    trend_out,
+                    seasonal_out,
+                    residual_out,
+                    detection_out,
+                )
+            trend_out[start + r] = trend_row
+            residual_row = residual_out[start + r]
+            np.subtract(values[start + r], trend_row, out=residual_row)
+            np.subtract(residual_row, seasonal_row, out=residual_row)
+            detection_row = detection_out[start + r]
+            detection_row[:] = residual_row
+            if shift_window > 0:
+                flagged = monitor.score(residual_row)[1]
+                if flagged.any():
+                    self._blocked_flagged_round(
+                        values,
+                        start,
+                        r,
+                        flagged,
+                        phases_view,
+                        trend_out,
+                        seasonal_out,
+                        residual_out,
+                        hists,
+                    )
+                    monitor.update_stats(detection_row)
+                    self._block_commit(r, hists, trend_out[start + r], detection_row)
+                    return start + r + 1
+            monitor.update_stats(detection_row)
+        self._block_flush(start, n_rounds, phases_view, seasonal_out)
+        self._block_commit(
+            n_rounds - 1, hists, trend_out[stop - 1], detection_out[stop - 1]
+        )
+        return stop
+
+    def _block_workspaces(
+        self, n_rounds: int
+    ) -> tuple[list[np.ndarray], np.ndarray, np.ndarray, np.ndarray]:
+        """(Re)size the round-blocked workspaces for an ``n_rounds`` run."""
+        n = self._n
+        hists = self._block_hists
+        if (
+            hists is None
+            or len(hists) != self.iterations
+            or hists[0].shape[0] < n_rounds + 2
+            or hists[0].shape[1] != n
+        ):
+            self._block_hists = hists = [
+                np.empty((n_rounds + 2, n)) for _ in range(self.iterations)
+            ]
+            self._block_rhs = np.empty((n_rounds, 2, n))
+            self._block_phases = np.empty((n_rounds, n), dtype=np.int64)
+            self._block_seasonal = np.empty(n)
+        pattern_values = self._pattern_values
+        if pattern_values is None or pattern_values.shape[1] != n:
+            self._pattern_values = pattern_values = np.empty(
+                (_PATTERN_ROWS.size, n)
+            )
+            self._rhs_values = np.empty((2, n))
+        pattern0 = self._block_pattern0
+        if pattern0 is None or pattern0.shape[1] != n:
+            self._block_pattern0 = pattern0 = np.empty((_PATTERN_ROWS.size, n))
+            self._block_weight_p = np.empty(n)
+            self._block_weight_q = np.empty(n)
+        # The first IRLS iteration's weights are the raw lambdas on every
+        # round (its ``next_p``/``next_q`` are 1.0), so its pattern-value
+        # buffer is filled once per run -- same scalar broadcasts as the
+        # per-round fill it replaces.
+        pattern0[:4] = 1.0
+        pattern0[4] = self.lambda1
+        pattern0[5] = self.lambda1
+        pattern0[6] = -self.lambda1
+        pattern0[7] = self.lambda2
+        pattern0[8] = 4.0 * self.lambda2
+        pattern0[9] = self.lambda2
+        pattern0[10] = -2.0 * self.lambda2
+        pattern0[11] = self.lambda2
+        pattern0[12] = -2.0 * self.lambda2
+        return hists, self._block_rhs, self._block_phases, pattern_values
+
+    def _block_flush(
+        self,
+        start: int,
+        count: int,
+        phases_view: np.ndarray,
+        seasonal_out: np.ndarray,
+    ) -> None:
+        """Apply the deferred seasonal scatters and counters of a run prefix.
+
+        Within a run every series writes ``count`` distinct seasonal
+        slots (runs never exceed ``period`` rounds), so one fancy scatter
+        equals the per-round scatters.
+        """
+        if count == 0:
+            return
+        rows = self._rows()
+        self.seasonal_buffer[rows[None, :], phases_view[:count]] = seasonal_out[
+            start : start + count
+        ]
+        self.global_index += count
+        self.points_processed += count
+
+    def _block_commit(
+        self,
+        r: int,
+        hists: list[np.ndarray],
+        trend_row: np.ndarray,
+        detection_row: np.ndarray,
+    ) -> None:
+        """Write the trend pairs and last-point state back after a run.
+
+        ``r`` is the last round (run-relative) actually advanced; the
+        per-iteration pairs come out of the block-resident histories,
+        which are authoritative during a run.
+        """
+        states = self.iteration_states
+        for iteration in range(len(states)):
+            state = states[iteration]
+            hist = hists[iteration]
+            np.copyto(state.before_previous_trend, hist[r + 1])
+            np.copyto(state.previous_trend, hist[r + 2])
+        np.copyto(self.last_trend, trend_row)
+        np.copyto(self.last_detection_residual, detection_row)
+
+    def _blocked_flagged_round(
+        self,
+        values: np.ndarray,
+        start: int,
+        r: int,
+        flagged: np.ndarray,
+        phases_view: np.ndarray,
+        trend_out: np.ndarray,
+        seasonal_out: np.ndarray,
+        residual_out: np.ndarray,
+        hists: list[np.ndarray],
+    ) -> None:
+        """Finish flagged round ``r`` of a run on the per-series search path.
+
+        The run's deferred rounds are flushed first (the scalar candidate
+        search reads the live seasonal buffer and counters), then this
+        round mirrors :meth:`update`'s flagged handling.  The run ends
+        here: a chosen shift redirects this round's seasonal write, so
+        later rounds must re-stage against the post-shift state.
+        """
+        self._block_flush(start, r, phases_view, seasonal_out)
+        previous_trends = [(hist[r + 1], hist[r]) for hist in hists]
+        rows = self._rows()
+        chosen_shift = np.zeros(self._n, dtype=np.int64)
+        trend_row = trend_out[start + r]
+        seasonal_row = seasonal_out[start + r]
+        residual_row = residual_out[start + r]
+        values_row = values[start + r]
+        states = self.iteration_states
+        for index in np.flatnonzero(flagged):
+            shift, chosen_trend, chosen_seasonal = self._shift_search_fallback(
+                int(index), float(values_row[index]), previous_trends
+            )
+            chosen_shift[index] = shift
+            trend_row[index] = chosen_trend
+            seasonal_row[index] = chosen_seasonal
+            residual_row[index] = (
+                float(values_row[index]) - chosen_trend
+            ) - chosen_seasonal
+            if shift != 0:
+                self.last_applied_shift[index] = shift
+            # The fallback scattered the chosen trend pair into the
+            # columnar pair arrays (stale during a run); refresh this
+            # round's history row so the run-end write-back keeps the
+            # chosen state (the pre-round row is unchanged by search).
+            for state, hist in zip(states, hists):
+                hist[r + 2][index] = state.previous_trend[index]
+        position = (self.global_index + chosen_shift) % self.period
+        self.seasonal_buffer[rows, position] = seasonal_row
+        self.global_index += 1
+        self.points_processed += 1
+
+    def _blocked_abort_round(
+        self,
+        values: np.ndarray,
+        start: int,
+        r: int,
+        phases_view: np.ndarray,
+        trend_out: np.ndarray,
+        seasonal_out: np.ndarray,
+        residual_out: np.ndarray,
+        detection_out: np.ndarray,
+    ) -> int:
+        """Round ``r`` went non-finite under the unguarded staged solves.
+
+        Rolls every iteration solver back to its pre-round state, restores
+        the trend pairs and deferred writes, and replays the round on the
+        guarded per-round path -- reproducing the scalar path's values or
+        its exact pivot error (whichever the scalar path produces).
+        """
+        hists = self._block_hists
+        for state, hist in zip(self.iteration_states, hists):
+            state.solver.rollback()
+            np.copyto(state.before_previous_trend, hist[r])
+            np.copyto(state.previous_trend, hist[r + 1])
+        self._block_flush(start, r, phases_view, seasonal_out)
+        if r > 0:
+            np.copyto(self.last_trend, trend_out[start + r - 1])
+            np.copyto(self.last_detection_residual, detection_out[start + r - 1])
+        result = self.update(values[start + r])
+        trend_out[start + r] = result.trend
+        seasonal_out[start + r] = result.seasonal
+        residual_out[start + r] = result.residual
+        detection_out[start + r] = result.detection_residual
+        return start + r + 1
 
     @hotpath
     def _advance_batched(

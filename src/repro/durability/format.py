@@ -23,6 +23,13 @@ Version history
     snapshots are migrated on read (:func:`migrate_snapshot_payload`):
     the per-series state is unchanged, so migration only stamps the new
     fields.
+3
+    The manifest's ``wal`` entry becomes an ordered *chain* of WAL
+    segment names (size-based rotation seals a segment and opens the
+    next part), and WAL file names gain a part suffix
+    (``wal-GGGGGGGG-PPPP.log``).  Version-2 manifests and snapshots are
+    migrated on read: the single WAL name is wrapped into a length-1
+    chain; per-series and per-cohort state is unchanged.
 
 The codecs here are pure data-plumbing -- they know nothing about the
 engine -- so the streaming layer can evolve independently of the bytes on
@@ -33,6 +40,7 @@ the engine at all.
 from __future__ import annotations
 
 import pickle
+import re
 from dataclasses import dataclass
 from typing import Any, Mapping
 
@@ -48,16 +56,17 @@ __all__ = [
     "encode_segment",
     "encode_wal_record",
     "migrate_snapshot_payload",
+    "next_wal_name",
     "segment_name",
     "validate_manifest",
     "wal_name",
 ]
 
 #: version stamp written into (and required from) every durable artifact
-CHECKPOINT_FORMAT_VERSION = 2
+CHECKPOINT_FORMAT_VERSION = 3
 
-#: older single-file snapshot versions that migrate transparently on read
-MIGRATABLE_FORMAT_VERSIONS = (1,)
+#: older artifact versions that migrate transparently on read
+MIGRATABLE_FORMAT_VERSIONS = (1, 2)
 
 #: manifest keys required by :func:`validate_manifest`
 _MANIFEST_KEYS = ("format_version", "generation", "engine_spec", "cohorts", "wal")
@@ -85,9 +94,24 @@ def segment_name(generation: int, cohort_id: int) -> str:
     return f"seg-{generation:08d}-{cohort_id:06d}.pkl"
 
 
-def wal_name(generation: int) -> str:
-    """Canonical file name of the WAL segment following ``generation``."""
-    return f"wal-{generation:08d}.log"
+def wal_name(generation: int, part: int = 0) -> str:
+    """Canonical file name of WAL part ``part`` following ``generation``."""
+    return f"wal-{generation:08d}-{part:04d}.log"
+
+
+#: both WAL name shapes: v3 ``wal-GGGGGGGG-PPPP.log`` and the legacy v2
+#: ``wal-GGGGGGGG.log`` (a rotation of a legacy name continues at part 1)
+_WAL_NAME = re.compile(r"^wal-(\d{8})(?:-(\d{4}))?\.log$")
+
+
+def next_wal_name(name: str) -> str:
+    """Name of the WAL part that follows ``name`` after a rotation."""
+    match = _WAL_NAME.match(name)
+    if match is None:
+        raise ValueError(f"not a WAL segment name: {name!r}")
+    generation = int(match.group(1))
+    part = int(match.group(2)) if match.group(2) is not None else 0
+    return wal_name(generation, part + 1)
 
 
 # ---------------------------------------------------------------- snapshots
@@ -115,8 +139,10 @@ def migrate_snapshot_payload(payload: Any, source: object) -> dict:
     if version == CHECKPOINT_FORMAT_VERSION:
         return dict(payload)
     if version in MIGRATABLE_FORMAT_VERSIONS:
-        # v1 -> v2: the per-series state is unchanged; stamp the new
-        # lineage counter (a v1 snapshot predates generations).
+        # v1/v2 -> v3: the per-series state is unchanged; stamp the
+        # lineage counter (a v1 snapshot predates generations).  The WAL
+        # chain lives only in directory-store manifests, so single-file
+        # snapshots need nothing else.
         migrated = dict(payload)
         migrated["format_version"] = CHECKPOINT_FORMAT_VERSION
         migrated.setdefault("generation", 0)
@@ -139,15 +165,20 @@ def build_manifest(
     generation: int,
     engine_spec: dict,
     cohorts: list[dict],
-    wal: str,
+    wal: str | list[str],
 ) -> dict:
-    """Assemble a manifest document (plain JSON-able data)."""
+    """Assemble a manifest document (plain JSON-able data).
+
+    ``wal`` is the ordered chain of WAL segment names to replay; a bare
+    string is normalized into a length-1 chain.
+    """
+    chain = [wal] if isinstance(wal, str) else list(wal)
     return {
         "format_version": CHECKPOINT_FORMAT_VERSION,
         "generation": int(generation),
         "engine_spec": engine_spec,
         "cohorts": cohorts,
-        "wal": wal,
+        "wal": chain,
     }
 
 
@@ -165,7 +196,9 @@ def validate_manifest(manifest: Any, source: object) -> dict:
             f"(expected {list(_MANIFEST_KEYS)}, found {sorted(manifest)})"
         )
     version = manifest["format_version"]
-    if version != CHECKPOINT_FORMAT_VERSION:
+    if version != CHECKPOINT_FORMAT_VERSION and version not in (
+        MIGRATABLE_FORMAT_VERSIONS
+    ):
         raise CheckpointVersionError(source, version, CHECKPOINT_FORMAT_VERSION)
     cohorts = manifest["cohorts"]
     if not isinstance(cohorts, list) or not all(
@@ -176,7 +209,22 @@ def validate_manifest(manifest: Any, source: object) -> dict:
             f"{source}: manifest 'cohorts' must be a list of "
             "{id, segment, ...} objects"
         )
-    return dict(manifest)
+    validated = dict(manifest)
+    # v2 -> v3: the single WAL name becomes a length-1 chain.
+    wal = validated["wal"]
+    if isinstance(wal, str):
+        validated["wal"] = [wal]
+    elif not (
+        isinstance(wal, list)
+        and wal
+        and all(isinstance(name, str) for name in wal)
+    ):
+        raise CorruptCheckpointError(
+            f"{source}: manifest 'wal' must be a non-empty ordered list of "
+            f"WAL segment names, found {wal!r}"
+        )
+    validated["format_version"] = CHECKPOINT_FORMAT_VERSION
+    return validated
 
 
 # ----------------------------------------------------------------- segments

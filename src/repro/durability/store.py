@@ -134,6 +134,18 @@ class CheckpointStore(ABC):
     def wal_append(self, record: bytes) -> None:
         """Append one record to the open WAL segment and flush it."""
 
+    def wal_append_many(self, records: list[bytes]) -> None:
+        """Append a batch of records (group commit where the backend can).
+
+        The default is a per-record loop; backends override it to frame
+        every record up front and pay one flush/fsync for the whole
+        batch.  Record framing is unchanged either way: replay cannot
+        tell a group commit from individual appends, and a crash
+        mid-batch loses only a suffix of the batch.
+        """
+        for record in records:
+            self.wal_append(record)
+
     @abstractmethod
     def wal_records(self, name: str) -> Iterator[bytes]:
         """Iterate the longest complete prefix of records in segment ``name``.
@@ -150,6 +162,15 @@ class CheckpointStore(ABC):
     @abstractmethod
     def wal_delete(self, name: str) -> None:
         """Delete one WAL segment (missing segments are ignored)."""
+
+    def wal_exists(self, name: str) -> bool:
+        """Whether WAL segment ``name`` is present (even if empty).
+
+        Recovery walks the rotation chain by *existence*, not by record
+        count: a crash between opening a fresh part and its first append
+        leaves an empty segment that is still part of the chain.
+        """
+        return name in self.list_wals()
 
     def close(self) -> None:
         """Release any open handles (idempotent)."""

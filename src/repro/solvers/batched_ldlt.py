@@ -130,6 +130,21 @@ class BatchedIncrementalLDLT:
         #: cache of the last validated update-pattern arrays (the fleet
         #: kernel passes the same module-constant pattern on every point)
         self._pattern_cache: tuple | None = None
+        #: staged round-block state (begin_extend_block/extend_solve):
+        #: validated pattern arrays, block width, and the back-substitution
+        #: temporary shared by every staged solve
+        self._block_pattern: tuple[int, np.ndarray, np.ndarray] | None = None
+        self._block_tmp: np.ndarray | None = None
+        #: staged augmented workspace: the extended block with the RHS as
+        #: a trailing column, so every elimination sweep of extend_solve
+        #: updates matrix and RHS in one array operation
+        self._block_scratch: np.ndarray | None = None
+        #: per-sweep row limits for extend_solve, from the staged
+        #: pattern's structural profile (see begin_extend_block)
+        self._block_limits: tuple[int, ...] = ()
+        #: per-run pattern-cell views into the staged scratch
+        #: (``(cell, mirror_or_None, value_position)`` per entry)
+        self._block_cells: tuple = ()
 
     # ------------------------------------------------------- state plumbing
 
@@ -523,6 +538,160 @@ class BatchedIncrementalLDLT:
         np.add(sizes, num_new, out=self._s_buffers[other][:n])
         self._cur = other
         self._undo_ok = True
+
+    def begin_extend_block(
+        self, num_new: int, rows: np.ndarray, columns: np.ndarray
+    ) -> None:
+        """Stage a run of :meth:`extend_solve` calls sharing one pattern.
+
+        Validates the shared update pattern once and pre-sizes the staged
+        augmented workspace, so each :meth:`extend_solve` of the run
+        skips all validation, shape checking and allocation.  The staged
+        pattern stays valid until the next :meth:`begin_extend_block`;
+        membership changes (append/assign) between runs are fine because
+        every call re-reads ``self._n``.
+        """
+        w = self.half_bandwidth
+        if not 1 <= num_new <= w:
+            raise ValueError(f"num_new must be in [1, {w}], got {num_new}")
+        checked_rows, checked_columns = self._validated_pattern(
+            num_new, rows, columns
+        )
+        block = w + num_new
+        n = self._n
+        tmp = self._block_tmp
+        if tmp is None or tmp.shape[0] < n:
+            self._block_tmp = np.empty(n)
+        scratch = self._block_scratch
+        if scratch is None or scratch.shape[0] != block or scratch.shape[2] < n:
+            self._block_scratch = np.empty((block, block + 1, n))
+        # Pattern-cell views are resolved once per run: each extend_solve
+        # then applies the shared update through the views directly,
+        # skipping numpy's index parsing on every one of the (mirrored)
+        # pattern entries.  Views into the freshly sized scratch stay
+        # valid for the whole run; same-cell accumulation order is the
+        # tuple order, which is caller order.
+        scratch = self._block_scratch
+        cells = []
+        for position in range(checked_rows.size):
+            row, column = checked_rows[position], checked_columns[position]
+            mirror = scratch[column, row, :n] if row != column else None
+            cells.append((scratch[row, column, :n], mirror, position))
+        self._block_cells = tuple(cells)
+        # Structural profile of the appended rows: appended row ``w + i``
+        # of the staged block holds exact ``+0.0`` left of its first
+        # pattern entry (the setup zero-fill writes it and nothing else
+        # does), so an elimination sweep ``k < first_col[i]`` would give
+        # it a factor of ``+-0.0`` and subtract ``+-0.0 * pivot_row``
+        # from cells that are themselves ``+0.0`` or untouched nonzeros
+        # -- bitwise a no-op in either case.  Each sweep can therefore
+        # stop at a precomputed row limit.  The skipped rows must form a
+        # suffix of the block, so the limits apply only while
+        # ``first_col`` is non-decreasing; otherwise every sweep runs
+        # the full range (same values, more work).
+        first_col = [block] * num_new
+        for row, column in zip(checked_rows.tolist(), checked_columns.tolist()):
+            if row >= w and column < first_col[row - w]:
+                first_col[row - w] = column
+            if column >= w and row < first_col[column - w]:
+                first_col[column - w] = row
+        if all(a <= b for a, b in zip(first_col, first_col[1:])):
+            self._block_limits = tuple(
+                max(k + 1, w + sum(1 for c in first_col if c <= k))
+                for k in range(block - 1)
+            )
+        else:
+            self._block_limits = (block,) * (block - 1)
+        self._block_pattern = (num_new, checked_rows, checked_columns)
+
+    @hotpath
+    def extend_solve(
+        self,
+        values_t: np.ndarray,
+        rhs_t: np.ndarray,
+        out_trend: np.ndarray,
+        out_seasonal: np.ndarray,
+    ) -> None:
+        """One staged :meth:`extend` fused with a two-entry tail solve.
+
+        Requires a preceding :meth:`begin_extend_block`.  ``values_t`` is
+        the cell-major ``(k, n)`` pattern-value buffer and ``rhs_t`` the
+        cell-major ``(num_new, n)`` right-hand sides; the last two solution
+        entries land in ``out_seasonal`` (local row ``w - 1``) and
+        ``out_trend`` (row ``w - 2``), both shape ``(n,)``.
+
+        Values are identical to ``extend(...)`` followed by
+        ``tail_solution(2)`` -- the tail sweep continues the extend's
+        elimination in the same scratch (the committed trailing state *is*
+        the partially eliminated block), the dead back-substitution rows
+        below ``w - 2`` are skipped, and the pivot guards are dropped: a
+        zero/invalid pivot propagates non-finite values into the outputs
+        instead of raising, which the caller screens post hoc (the fleet
+        kernel rolls the round back and replays it on the guarded per-round
+        path to reproduce the exact scalar error).  The committed ping-pong
+        state and the single undo level behave exactly as after
+        :meth:`extend`.
+        """
+        w = self.half_bandwidth
+        num_new = self._block_pattern[0]
+        block = w + num_new
+        n = self._n
+        # The staged workspace is *augmented*: the right-hand side rides as
+        # column ``block`` of the matrix, so each elimination sweep updates
+        # matrix and RHS in one array operation (the per-element multiply
+        # and subtract are the unfused ones of extend(), so values match
+        # bit for bit).  The sweep temporaries are deliberately allocated
+        # fresh: repeated same-size allocations reuse hot addresses, which
+        # beats per-solver persistent buffers that multiply the working
+        # set by the iteration count.
+        aug = self._block_scratch[:, :, :n]
+        aug[:w, w:block] = 0.0
+        aug[w:, :block] = 0.0
+        aug[:w, :w] = self._m_state()
+        aug[:w, block] = self._b_state()
+        aug[w:, block] = rhs_t
+        # Same sequential per-entry accumulation as extend() -- cells hit
+        # by several pattern entries fold in caller order -- through the
+        # cell views staged by begin_extend_block.
+        for view, mirror, position in self._block_cells:
+            value = values_t[position]
+            np.add(view, value, out=view)
+            if mirror is not None:
+                np.add(mirror, value, out=mirror)
+        # Sweeps stop at the staged per-sweep row limit: appended rows
+        # that have not coupled in yet carry an exact ``+-0.0`` factor,
+        # and subtracting ``+-0.0 * pivot_row`` is bitwise a no-op (see
+        # begin_extend_block).
+        limits = self._block_limits
+        for k in range(num_new):
+            limit = limits[k]
+            factor = aug[k + 1 : limit, k] / aug[k, k]
+            aug[k + 1 : limit, k + 1 :] -= factor[:, None, :] * aug[k, None, k + 1 :]
+        # Commit BEFORE the tail continuation: the trailing block is final
+        # here, and the tail sweep below must not observe its own updates
+        # in the committed state (rollback/extract_pre_extend still see the
+        # pre-extend side).
+        sizes = self._sizes
+        other = self._other_side(self._m_buffers[self._cur].shape[2])
+        self._m_buffers[other][:, :, :n] = aug[num_new:, num_new:block]
+        self._b_buffers[other][:, :n] = aug[num_new:, block]
+        np.add(sizes, num_new, out=self._s_buffers[other][:n])
+        self._cur = other
+        self._undo_ok = True
+        # Fused tail: continuing the elimination over the trailing block in
+        # the same scratch performs exactly tail_solution's fresh sweep
+        # (its final pivot iteration touches no rows and is skipped).
+        for k in range(num_new, block - 1):
+            limit = limits[k]
+            factor = aug[k + 1 : limit, k] / aug[k, k]
+            aug[k + 1 : limit, k + 1 :] -= factor[:, None, :] * aug[k, None, k + 1 :]
+        # Back substitution of the last two rows only (the rest is dead),
+        # with tail_solution's accumulation order.
+        tmp = self._block_tmp[:n]
+        np.divide(aug[block - 1, block], aug[block - 1, block - 1], out=out_seasonal)
+        np.multiply(aug[block - 2, block - 1], out_seasonal, out=tmp)
+        np.subtract(aug[block - 2, block], tmp, out=tmp)
+        np.divide(tmp, aug[block - 2, block - 2], out=out_trend)
 
     @hotpath
     def tail_solution(self, count: int) -> np.ndarray:

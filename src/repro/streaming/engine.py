@@ -90,6 +90,7 @@ from repro.durability.format import (
     decode_wal_record,
     encode_segment,
     encode_wal_record,
+    next_wal_name,
     segment_name,
     validate_manifest,
     wal_name,
@@ -570,6 +571,28 @@ class _FleetGroup:
             self.latency_values[columns, slots] = per_point
             counts[columns] += 1
 
+    def record_latency_block(
+        self, columns: np.ndarray | None, per_point: float, rounds: int
+    ) -> None:
+        """Record a whole time-block's shared per-point duration.
+
+        A block advances ``rounds`` rounds in one kernel invocation, so
+        every round in it gets the same amortized per-point duration:
+        ``rounds`` consecutive ring slots per column are written at once.
+        """
+        counts = self.latency_counts
+        offsets = np.arange(rounds)
+        if columns is None:
+            slots = (counts[:, None] + offsets[None, :]) % self.latency_window
+            self.latency_values[self._all_columns[:, None], slots] = per_point
+            counts += rounds
+        else:
+            slots = (
+                counts[columns][:, None] + offsets[None, :]
+            ) % self.latency_window
+            self.latency_values[columns[:, None], slots] = per_point
+            counts[columns] += rounds
+
     def sync_series(self, column: int, state: _SeriesState) -> None:
         """Write column ``column`` back into the series' object state."""
         pipeline = state.pipeline
@@ -735,6 +758,13 @@ class MultiSeriesEngine:
         #: overhead than the scalar loop it replaces, so tiny fleets (and
         #: single-key batches) stay on the scalar path.
         self.kernel_min_cohort = 8
+        #: rounds advanced per kernel invocation on the grid fast path:
+        #: ``None`` (default) drives every planned round of a batch as one
+        #: time-block (the kernel splits internally on NaN rounds and
+        #: shift-search triggers); ``1`` forces the legacy round-at-a-time
+        #: path -- the oracle tests and the bench baseline use it to
+        #: compare the two bit-identical paths.
+        self.time_block_rounds: int | None = None
         #: smallest live-member fraction a kernel group may fall to before
         #: its survivors are re-homed: extraction (shard migration) leaves
         #: dead columns behind, and a sparse group pays full-width array
@@ -1065,6 +1095,64 @@ class MultiSeriesEngine:
         self._maybe_auto_checkpoint()
         return result
 
+    def ingest_many(
+        self,
+        batches: Sequence,
+        *,
+        columnar_results: bool = True,
+    ) -> list:
+        """Ingest several batches with one WAL group commit.
+
+        Each element of ``batches`` is a columnar batch accepted by
+        :meth:`ingest` -- a ``{key: values}`` dict or a pre-normalized
+        ``(round_keys, grid)`` pair as in :meth:`ingest_grid`.  State
+        advances exactly as the equivalent sequence of :meth:`ingest`
+        calls would, and one :class:`IngestResult` (or record list) is
+        returned per batch, in order.
+
+        The difference is durability cadence: in a durable session every
+        batch is normalized and encoded up front, the whole group of WAL
+        records is appended with *one* flush (one ``fsync`` when the
+        store syncs) via ``CheckpointStore.wal_append_many``, and only
+        then does any state advance.  A crash mid-commit loses at most a
+        suffix of the group -- each surviving record is complete -- and
+        replay applies the surviving prefix exactly as if those batches
+        alone had been ingested.
+        """
+        normalized = []
+        for batch in batches:
+            if isinstance(batch, dict):
+                round_keys, grid = self._grid_from_dict(batch)
+            elif isinstance(batch, tuple) and len(batch) == 2:
+                round_keys = list(batch[0])
+                grid = np.asarray(batch[1], dtype=float)
+                if grid.ndim != 2 or grid.shape[1] != len(round_keys):
+                    raise ValueError(
+                        "ingest_many() grid batches must be round-major "
+                        f"(L, n) with one column per key; got shape "
+                        f"{grid.shape} for {len(round_keys)} keys"
+                    )
+                if len(set(round_keys)) != len(round_keys):
+                    raise ValueError("ingest_many() keys must be unique")
+            else:
+                raise TypeError(
+                    "ingest_many() accepts {key: values} dicts or "
+                    "(round_keys, grid) pairs; got "
+                    f"{type(batch).__name__}"
+                )
+            normalized.append((round_keys, grid))
+        self._wal_append_many(
+            [("grid", round_keys, grid) for round_keys, grid in normalized]
+        )
+        results = [
+            self._with_wal_suppressed(
+                self._ingest_grid, round_keys, grid, columnar_results
+            )
+            for round_keys, grid in normalized
+        ]
+        self._maybe_auto_checkpoint()
+        return results
+
     @staticmethod
     def _grid_from_dict(batch: dict) -> tuple[list, np.ndarray]:
         """Validate ``{key: values}`` into a round-major ``(L, n)`` grid."""
@@ -1141,9 +1229,32 @@ class MultiSeriesEngine:
         result = IngestResult(round_keys, n_rounds)
         flat = grid.reshape(-1)
         plan = self._grid_plan(round_keys)
-        base = 0
-        for row in range(n_rounds):
-            if plan is not None:
+        block_rounds = self.time_block_rounds
+        row = 0
+        while row < n_rounds:
+            if plan is None:
+                # repro: allow[HP001] cold fallback: runs only while keys
+                # are still warming; collapses to the cached pure-array
+                # plan once every key is absorbed
+                entries = [
+                    (key, row * n + j) for j, key in enumerate(round_keys)
+                ]
+                self._process_round(entries, flat, result)
+                # Warming keys may have gone live and been absorbed during
+                # the round; once every key is routed the remaining rounds
+                # take the planned (pure array) path.
+                plan = self._grid_plan(round_keys)
+                row += 1
+                continue
+            stop = (
+                n_rounds
+                if block_rounds is None
+                else min(n_rounds, row + block_rounds)
+            )
+            if stop - row == 1:
+                # One planned round left (or time_block_rounds == 1): the
+                # round-at-a-time kernel path, unchanged.
+                base = row * n
                 row_values = grid[row]
                 for group, columns, takes, full in plan:
                     self._advance_cohort(
@@ -1155,18 +1266,11 @@ class MultiSeriesEngine:
                         result,
                     )
             else:
-                # repro: allow[HP001] cold fallback: runs only while keys
-                # are still warming; collapses to the cached pure-array
-                # plan once every key is absorbed
-                entries = [
-                    (key, base + j) for j, key in enumerate(round_keys)
-                ]
-                self._process_round(entries, flat, result)
-                # Warming keys may have gone live and been absorbed during
-                # the round; once every key is routed the remaining rounds
-                # take the planned (pure array) path.
-                plan = self._grid_plan(round_keys)
-            base += n
+                for group, columns, takes, full in plan:
+                    self._advance_cohort_block(
+                        group, columns, takes, grid, row, stop, n, full, result
+                    )
+            row = stop
         return result if columnar_results else result.records()
 
     def _grid_plan(self, round_keys: list):
@@ -1375,6 +1479,69 @@ class MultiSeriesEngine:
             flagged = columns[flags]
             if flagged.size:
                 group.anomalies_pending[flagged] += 1
+
+    @hotpath
+    def _advance_cohort_block(
+        self,
+        group: _FleetGroup,
+        columns: np.ndarray,
+        takes: np.ndarray,
+        grid: np.ndarray,
+        row: int,
+        stop: int,
+        n: int,
+        full: bool,
+        result: IngestResult,
+    ) -> None:
+        """Advance one kernel cohort ``stop - row`` rounds in one block.
+
+        The time-blocked counterpart of :meth:`_advance_cohort`: one
+        :meth:`FleetKernel.update_block` call moves the whole cohort
+        through every round of the block (splitting internally on NaN
+        rounds and shift-search triggers, bit-identically to the
+        round-at-a-time path), and every scatter into the
+        :class:`IngestResult` is one 2-D fancy write instead of one write
+        per round.
+        """
+        track_latency = self._track_latency_now()
+        if track_latency:
+            start = time.perf_counter()
+        rounds = stop - row
+        block_values = grid[row:stop, takes]
+        if full:
+            out = group.kernel.update_block(block_values)
+            scores, flags = group.scorer.update_block(out.detection_residual)
+        else:
+            out = group.kernel.update_block(block_values, columns=columns)
+            scorer = group.scorer.select(columns)
+            scores, flags = scorer.update_block(out.detection_residual)
+            group.scorer.assign(columns, scorer)
+        if track_latency:
+            per_point = (time.perf_counter() - start) / (rounds * columns.size)
+            group.record_latency_block(
+                None if full else columns, per_point, rounds
+            )
+        positions = takes[None, :] + n * np.arange(row, stop, dtype=np.intp)[:, None]
+        round_offsets = np.arange(rounds, dtype=np.int64)[:, None]
+        indices = group.indices if full else group.indices[columns]
+        result.index[positions] = indices[None, :] + round_offsets
+        result.value[positions] = out.value
+        result.trend[positions] = out.trend
+        result.seasonal[positions] = out.seasonal
+        result.residual[positions] = out.residual
+        result.anomaly_score[positions] = scores
+        result.is_anomaly[positions] = flags
+        result.detection_residual[positions] = out.detection_residual
+        result.live[positions] = True
+        anomalies = flags.sum(axis=0)
+        if full:
+            group.indices += rounds
+            group.points_pending += rounds
+            group.anomalies_pending += anomalies
+        else:
+            group.indices[columns] += rounds
+            group.points_pending[columns] += rounds
+            group.anomalies_pending[columns] += anomalies
 
     def _absorption_spec(self, key: Hashable, state: _SeriesState):
         """Spec to group ``key`` under, or None (not yet / never packable)."""
@@ -1801,21 +1968,33 @@ class MultiSeriesEngine:
         # replay-speed timings (on the record-free columnar path, usually
         # much faster) would fabricate post-recovery latency percentiles.
         engine._replaying = True
+        # Size-based rotation may have opened parts past the last manifest
+        # write, so the chain is extended by *existence* beyond what the
+        # manifest recorded -- a crash can even land between opening a
+        # fresh part and its first append, leaving an empty segment that
+        # is still the chain's live tail (record counts would miss it).
+        chain = list(manifest["wal"])
+        while True:
+            successor = next_wal_name(chain[-1])
+            if not store.wal_exists(successor):
+                break
+            chain.append(successor)
         replayed = 0
         try:
-            for payload in store.wal_records(manifest["wal"]):
-                engine._apply_wal_record(
-                    decode_wal_record(payload, f"{source}/{manifest['wal']}")
-                )
-                replayed += 1
+            for name in chain:
+                for payload in store.wal_records(name):
+                    engine._apply_wal_record(
+                        decode_wal_record(payload, f"{source}/{name}")
+                    )
+                    replayed += 1
         finally:
             engine._replaying = False
-        # Reopen the manifest's WAL segment for appending: new records
+        # Reopen the chain's tail segment for appending: new records
         # extend the replayed prefix.  The replayed records still count
         # toward checkpoint_interval -- they are real un-checkpointed WAL
         # backlog, and a crash-looping process would otherwise reset the
         # counter on every restart and never auto-checkpoint.
-        store.wal_start(manifest["wal"])
+        store.wal_start(chain[-1])
         engine._wal_records_pending = replayed
         return engine
 
@@ -1862,6 +2041,24 @@ class MultiSeriesEngine:
             return
         self._store.wal_append(encode_wal_record(kind, *parts))
         self._wal_records_pending += 1
+
+    def _wal_append_many(self, batches: list) -> None:
+        """Group-commit one WAL record per ``(kind, *parts)`` batch.
+
+        Encoding is skipped entirely when detached (or replaying), so the
+        WAL-off ingest path pays nothing for the group-commit plumbing.
+        """
+        if (
+            self._store is None
+            or self._replaying
+            or self._wal_suppressed
+            or not batches
+        ):
+            return
+        self._store.wal_append_many(
+            [encode_wal_record(kind, *parts) for kind, *parts in batches]
+        )
+        self._wal_records_pending += len(batches)
 
     def _with_wal_suppressed(self, call, *args):
         """Run ``call`` with per-observation WAL logging disabled.

@@ -32,6 +32,7 @@ from repro.durability.format import (
     build_manifest,
     decode_wal_record,
     encode_wal_record,
+    next_wal_name,
     validate_manifest,
     wal_name,
 )
@@ -418,3 +419,202 @@ def _unused_pid() -> int:
             pass
         candidate -= 1
     raise RuntimeError("no free pid found")
+
+
+class TestWalGroupCommit:
+    def test_group_commit_equals_individual_appends(self, tmp_path):
+        records = [b"alpha", b"beta" * 100, b"", b"gamma"]
+        grouped = DirectoryCheckpointStore(tmp_path / "grouped")
+        grouped.wal_start(wal_name(0))
+        grouped.wal_append_many(records)
+        grouped.close()
+        individual = DirectoryCheckpointStore(tmp_path / "individual")
+        individual.wal_start(wal_name(0))
+        for record in records:
+            individual.wal_append(record)
+        individual.close()
+        # Byte-identical framing: replay cannot tell the two apart.
+        grouped_bytes = (tmp_path / "grouped" / "wal" / wal_name(0)).read_bytes()
+        individual_bytes = (
+            tmp_path / "individual" / "wal" / wal_name(0)
+        ).read_bytes()
+        assert grouped_bytes == individual_bytes
+        fresh = DirectoryCheckpointStore(tmp_path / "grouped")
+        assert list(fresh.wal_records(wal_name(0))) == records
+
+    def test_empty_batch_is_a_noop(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        store.wal_start(wal_name(0))
+        store.wal_append_many([])
+        assert list(store.wal_records(wal_name(0))) == []
+
+    def test_fault_points_fire_once_per_batch(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        store.wal_start(wal_name(0))
+        seen = []
+        store.fault_hook = seen.append
+        store.wal_append_many([b"one", b"two", b"three"])
+        assert seen == ["wal.append.before", "wal.append.torn", "wal.append.after"]
+
+    def test_mid_batch_crash_keeps_a_complete_prefix(self, tmp_path):
+        """A kill mid-batch loses a suffix; surviving records are intact."""
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        store.wal_start(wal_name(0))
+        store.wal_append(b"before-the-batch")
+
+        def hook(point):
+            if point == "wal.append.torn":
+                raise SimulatedCrash(point)
+
+        store.fault_hook = hook
+        batch = [b"r-%d" % index * 20 for index in range(8)]
+        with pytest.raises(SimulatedCrash):
+            store.wal_append_many(batch)
+        store.close()
+        fresh = DirectoryCheckpointStore(tmp_path / "store")
+        survived = list(fresh.wal_records(wal_name(0)))
+        assert survived[0] == b"before-the-batch"
+        tail = survived[1:]
+        # Strictly a prefix of the batch: no holes, no damaged records,
+        # and the crash (half the batch bytes) lost at least the last one.
+        assert tail == batch[: len(tail)]
+        assert len(tail) < len(batch)
+
+    def test_mid_batch_torn_tail_recovers_and_appends(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        store.wal_start(wal_name(0))
+
+        def hook(point):
+            if point == "wal.append.torn":
+                store.fault_hook = None
+                raise SimulatedCrash(point)
+
+        store.fault_hook = hook
+        with pytest.raises(SimulatedCrash):
+            store.wal_append_many([b"lost-a", b"lost-b"])
+        # Same session keeps appending: the torn bytes must be dropped
+        # first (the whole failed batch rolls back to the good offset).
+        store.wal_append_many([b"after-a", b"after-b"])
+        assert list(store.wal_records(wal_name(0))) == [b"after-a", b"after-b"]
+
+    def test_group_commit_respects_wal_sync(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store", wal_sync=True)
+        store.wal_start(wal_name(0))
+        store.wal_append_many([b"one", b"two"])
+        assert list(store.wal_records(wal_name(0))) == [b"one", b"two"]
+
+
+class TestWalRotation:
+    def test_next_wal_name_increments_the_part(self):
+        assert next_wal_name(wal_name(3)) == wal_name(3, 1)
+        assert next_wal_name(wal_name(3, 41)) == wal_name(3, 42)
+
+    def test_next_wal_name_continues_a_legacy_chain(self):
+        # v2 stores named segments wal-GGGGGGGG.log; rotation of a
+        # recovered legacy segment continues at part 1.
+        assert next_wal_name("wal-00000007.log") == wal_name(7, 1)
+
+    def test_next_wal_name_rejects_foreign_names(self):
+        with pytest.raises(ValueError, match="WAL segment name"):
+            next_wal_name("journal.log")
+
+    def test_oversize_append_rotates_to_the_next_part(self, tmp_path):
+        store = DirectoryCheckpointStore(
+            tmp_path / "store", wal_segment_bytes=64
+        )
+        store.wal_start(wal_name(0))
+        for index in range(4):
+            store.wal_append(b"x" * 40)
+        names = store.list_wals()
+        assert len(names) > 1
+        assert names[0] == wal_name(0)
+        assert names == [wal_name(0, part) for part in range(len(names))]
+        # Every record is readable, in order, across the chain.
+        collected = [
+            record for name in names for record in store.wal_records(name)
+        ]
+        assert collected == [b"x" * 40] * 4
+
+    def test_group_commit_rotates_after_the_batch(self, tmp_path):
+        store = DirectoryCheckpointStore(
+            tmp_path / "store", wal_segment_bytes=64
+        )
+        store.wal_start(wal_name(0))
+        store.wal_append_many([b"y" * 30] * 5)
+        names = store.list_wals()
+        # The batch lands whole in the first segment (group commit is one
+        # write); rotation seals it afterwards.
+        assert list(store.wal_records(wal_name(0))) == [b"y" * 30] * 5
+        assert names == [wal_name(0), wal_name(0, 1)]
+        store.wal_append(b"tail")
+        assert list(store.wal_records(wal_name(0, 1))) == [b"tail"]
+
+    def test_wal_exists_sees_empty_segments(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path / "store")
+        assert not store.wal_exists(wal_name(0))
+        store.wal_start(wal_name(0))
+        assert store.wal_exists(wal_name(0))
+        assert not store.wal_exists(wal_name(0, 1))
+
+    def test_rotation_requires_positive_limit(self, tmp_path):
+        with pytest.raises(ValueError, match="positive"):
+            DirectoryCheckpointStore(tmp_path / "store", wal_segment_bytes=0)
+
+    def test_kill_between_rotation_and_first_append(self, tmp_path):
+        """A crash right after rotation leaves an empty live tail segment."""
+        store = DirectoryCheckpointStore(
+            tmp_path / "store", wal_segment_bytes=32
+        )
+        store.wal_start(wal_name(0))
+
+        def hook(point):
+            if point == "wal.rotate.after":
+                raise SimulatedCrash(point)
+
+        store.fault_hook = hook
+        with pytest.raises(SimulatedCrash):
+            store.wal_append(b"z" * 40)
+        store.close()
+        fresh = DirectoryCheckpointStore(tmp_path / "store")
+        assert fresh.wal_exists(wal_name(0, 1))
+        assert list(fresh.wal_records(wal_name(0, 1))) == []
+        assert list(fresh.wal_records(wal_name(0))) == [b"z" * 40]
+
+
+class TestManifestWalChain:
+    def test_build_manifest_normalizes_a_bare_name(self):
+        manifest = build_manifest(3, {}, [], wal_name(3))
+        assert manifest["wal"] == [wal_name(3)]
+
+    def test_build_manifest_keeps_a_chain_ordered(self):
+        chain = [wal_name(2, part) for part in range(3)]
+        manifest = build_manifest(2, {}, [], chain)
+        assert manifest["wal"] == chain
+
+    def test_v2_manifest_migrates_on_validate(self):
+        manifest = build_manifest(1, {"fake": "spec"}, [], "wal-00000001.log")
+        manifest["format_version"] = 2
+        manifest["wal"] = "wal-00000001.log"  # v2 stored a single name
+        validated = validate_manifest(manifest, "store")
+        assert validated["format_version"] == CHECKPOINT_FORMAT_VERSION
+        assert validated["wal"] == ["wal-00000001.log"]
+
+    def test_malformed_wal_chain_rejected(self):
+        manifest = build_manifest(0, {}, [], wal_name(0))
+        manifest["wal"] = []
+        with pytest.raises(CorruptCheckpointError, match="non-empty"):
+            validate_manifest(manifest, "store")
+        manifest["wal"] = [wal_name(0), 7]
+        with pytest.raises(CorruptCheckpointError, match="WAL segment names"):
+            validate_manifest(manifest, "store")
+
+    def test_v2_snapshot_payload_migrates(self):
+        payload = {
+            "format_version": 2,
+            "engine_spec": {"fake": "spec"},
+            "series": {},
+            "generation": 5,
+        }
+        migrated = migrate_snapshot_payload(payload, "snap")
+        assert migrated["format_version"] == CHECKPOINT_FORMAT_VERSION
+        assert migrated["generation"] == 5

@@ -918,3 +918,230 @@ class TestLatencyEdgeCases:
             assert latency is not None
             assert latency.points == min(length - INIT, 1024)
             assert latency.p99_seconds >= latency.median_seconds > 0
+
+
+class TestTimeBlockedOracle:
+    """The time-blocked advance equals the round-at-a-time path exactly.
+
+    ``FleetKernel.update_block`` moves T rounds x N series per call,
+    splitting internally on NaN rounds and shift-search triggers; every
+    output and every piece of post-block state must be float-for-float
+    identical to T consecutive ``update`` calls, and the engine's
+    ``time_block_rounds=None`` (blocked) grid path must match
+    ``time_block_rounds=1`` (legacy) on the same batches.
+    """
+
+    def kernel_pair(self, streams, **params):
+        return (
+            FleetKernel.pack(warm_models(streams, 8, **params)),
+            FleetKernel.pack(warm_models(streams, 8, **params)),
+        )
+
+    def assert_block_matches(self, streams, rounds_per_block, points, **params):
+        blocked, per_round = self.kernel_pair(streams, **params)
+        start = INIT + 8
+        fields = ("value", "trend", "seasonal", "residual", "detection_residual")
+        for block_start in range(0, points, rounds_per_block):
+            block_stop = min(points, block_start + rounds_per_block)
+            values = np.array(
+                [
+                    [stream[start + step] for stream in streams]
+                    for step in range(block_start, block_stop)
+                ],
+                dtype=float,
+            )
+            out = blocked.update_block(values)
+            for row in range(values.shape[0]):
+                expected = per_round.update(values[row])
+                for field in fields:
+                    assert np.array_equal(
+                        getattr(out, field)[row],
+                        getattr(expected, field),
+                        equal_nan=True,
+                    ), field
+        # Post-block state: both kernels continue identically.
+        tail = np.array(
+            [stream[start + points] for stream in streams], dtype=float
+        )
+        continued_blocked = blocked.update(tail)
+        continued = per_round.update(tail)
+        for field in fields:
+            assert np.array_equal(
+                getattr(continued_blocked, field),
+                getattr(continued, field),
+                equal_nan=True,
+            ), field
+        assert np.array_equal(
+            blocked.last_applied_shift, per_round.last_applied_shift
+        )
+
+    def test_plain_block_matches(self):
+        streams = [fleet_series(i) for i in range(6)]
+        self.assert_block_matches(streams, PERIOD, PERIOD * 3, shift_window=0)
+
+    @pytest.mark.parametrize("rounds_per_block", [1, 7, PERIOD * 2])
+    def test_block_boundaries_match(self, rounds_per_block):
+        """T=1, T dividing and not dividing the batch, T spanning periods."""
+        streams = [fleet_series(i) for i in range(5)]
+        self.assert_block_matches(
+            streams, rounds_per_block, PERIOD * 2, shift_window=0
+        )
+
+    def test_nan_rounds_split_the_block_identically(self):
+        streams = [
+            fleet_series(i, missing=(INIT + 15 + i if i in (1, 3) else None))
+            for i in range(5)
+        ]
+        self.assert_block_matches(streams, PERIOD, PERIOD * 2, shift_window=20)
+
+    def test_shift_search_trigger_mid_block_matches(self):
+        streams = [
+            fleet_series(i, spike=(INIT + 20 + i if i % 2 == 0 else None))
+            for i in range(6)
+        ]
+        blocked, per_round = self.kernel_pair(
+            streams, shift_window=20, shift_threshold=5.0
+        )
+        self.assert_block_matches(
+            streams, PERIOD, PERIOD * 2, shift_window=20, shift_threshold=5.0
+        )
+        # The spikes must actually have exercised the mid-block fallback.
+        scalar = warm_models(streams, 8, shift_window=20, shift_threshold=5.0)
+        start = INIT + 8
+        for step in range(PERIOD * 2):
+            for model, stream in zip(scalar, streams):
+                model.update(float(stream[start + step]))
+        assert any(model.current_shift != 0 for model in scalar)
+
+    def test_subset_block_matches(self):
+        streams = [fleet_series(i) for i in range(6)]
+        blocked, per_round = self.kernel_pair(streams, shift_window=0)
+        columns = np.array([0, 2, 5])
+        start = INIT + 8
+        values = np.array(
+            [
+                [streams[c][start + step] for c in columns]
+                for step in range(PERIOD)
+            ],
+            dtype=float,
+        )
+        out = blocked.update_block(values, columns=columns)
+        for row in range(PERIOD):
+            expected = per_round.update(values[row], columns=columns)
+            assert np.array_equal(out.trend[row], expected.trend)
+            assert np.array_equal(out.residual[row], expected.residual)
+            assert np.array_equal(
+                out.detection_residual[row], expected.detection_residual
+            )
+
+    def test_columnar_nsigma_block_matches(self):
+        rng = np.random.default_rng(5)
+        scorers = [NSigma(3.0) for _ in range(4)]
+        for scorer in scorers:
+            for value in rng.normal(0.0, 1.0, 50):
+                scorer.update(float(value))
+        blocked = ColumnarNSigma.pack(scorers)
+        per_round = ColumnarNSigma.pack(scorers)
+        values = rng.normal(0.0, 2.0, (30, 4))
+        scores, flags = blocked.update_block(values)
+        for row in range(30):
+            expected_scores, expected_flags = per_round.update(values[row])
+            assert np.array_equal(scores[row], expected_scores)
+            assert np.array_equal(flags[row], expected_flags)
+        assert np.array_equal(blocked.mean, per_round.mean)
+        assert np.array_equal(blocked.m2, per_round.m2)
+        assert np.array_equal(blocked.count, per_round.count)
+
+    def engine_block_pair(self, **engine_kwargs):
+        """Identically configured engines: blocked grid path vs legacy."""
+        engines = []
+        for block_rounds in (None, 1):
+            engine = MultiSeriesEngine.for_oneshotstl(PERIOD, **engine_kwargs)
+            engine.kernel_min_cohort = 2
+            engine.time_block_rounds = block_rounds
+            engines.append(engine)
+        return engines
+
+    def assert_engine_grids_match(self, data, chunk, **engine_kwargs):
+        blocked, per_round = self.engine_block_pair(**engine_kwargs)
+        length = len(next(iter(data.values())))
+        fields = (
+            "index",
+            "value",
+            "trend",
+            "seasonal",
+            "residual",
+            "anomaly_score",
+            "is_anomaly",
+            "detection_residual",
+            "live",
+        )
+        for start in range(0, length, chunk):
+            batch = {
+                key: values[start : start + chunk]
+                for key, values in data.items()
+            }
+            out_blocked = blocked.ingest_columnar(batch)
+            out_per_round = per_round.ingest_columnar(batch)
+            for field in fields:
+                assert np.array_equal(
+                    getattr(out_blocked, field),
+                    getattr(out_per_round, field),
+                    equal_nan=True,
+                ), field
+        assert blocked._absorbed, "the kernel path never engaged"
+        for key in data:
+            stats_blocked = blocked.series_stats(key)
+            stats_per_round = per_round.series_stats(key)
+            assert stats_blocked.points == stats_per_round.points
+            assert stats_blocked.anomalies == stats_per_round.anomalies
+        return blocked, per_round
+
+    def test_engine_blocked_grid_matches_per_round(self):
+        """Warming -> live transition happens mid-batch on both paths."""
+        data = {
+            f"m-{i}": fleet_series(
+                i,
+                spike=(INIT + 30 if i == 2 else None),
+                missing=(INIT + 41 if i == 5 else None),
+            )
+            for i in range(8)
+        }
+        self.assert_engine_grids_match(data, chunk=37)
+
+    @pytest.mark.parametrize("block_rounds", [2, 7, 1000])
+    def test_engine_explicit_block_sizes_match(self, block_rounds):
+        """T dividing, not dividing, and exceeding the batch length."""
+        data = {f"m-{i}": fleet_series(i) for i in range(6)}
+        blocked, per_round = self.engine_block_pair()
+        blocked.time_block_rounds = block_rounds
+        length = len(next(iter(data.values())))
+        for start in range(0, length, 50):
+            batch = {
+                key: values[start : start + 50] for key, values in data.items()
+            }
+            out_blocked = blocked.ingest_columnar(batch)
+            out_per_round = per_round.ingest_columnar(batch)
+            assert np.array_equal(
+                out_blocked.trend, out_per_round.trend, equal_nan=True
+            )
+            assert np.array_equal(
+                out_blocked.is_anomaly, out_per_round.is_anomaly
+            )
+        assert blocked._absorbed
+
+    def test_blocked_latency_counts_every_round(self):
+        data = {f"m-{i}": fleet_series(i) for i in range(8)}
+        engine = MultiSeriesEngine.for_oneshotstl(PERIOD, track_latency=True)
+        engine.kernel_min_cohort = 2
+        length = len(next(iter(data.values())))
+        for start in range(0, length, 40):
+            engine.ingest({
+                key: values[start : start + 40] for key, values in data.items()
+            })
+        assert engine._absorbed
+        for key in data:
+            latency = engine.fleet_stats().per_series[key].latency
+            assert latency is not None
+            assert latency.points == min(length - INIT, 1024)
+            assert latency.p99_seconds >= latency.median_seconds > 0
