@@ -31,6 +31,11 @@ The multi-series engine exists so that the O(1) update can be ran on
   checkpoint (every cohort dirty) vs an incremental one (a single dirty
   cohort), whose ratio must reach ``CHECKPOINT_SPEEDUP_FLOOR`` -- the
   property that makes frequent checkpoints of a mostly-idle fleet cheap,
+* the supervision row: the identical time-blocked ``ingest_many`` chunk
+  stream driven directly vs through the sharding tier's
+  :meth:`~repro.faults.RetryPolicy.call` wrapper -- the per-call
+  bookkeeping a self-healing router adds on the success path -- whose
+  throughput ratio must stay above ``SUPERVISED_INGEST_FLOOR``,
 * the sharded rows: a 10,000-series fleet (1,000 under ``--smoke``)
   served through a :class:`~repro.sharding.ShardRouter` across
   ``SHARDED_WORKERS`` durable worker processes -- aggregate steady-state
@@ -110,6 +115,12 @@ CHECKPOINT_SPEEDUP_FLOOR = 5.0
 #: amortization must survive the fan-out/fan-in IPC hop even when the
 #: workers time-slice one core; shared with check_perf_regression.
 SHARDED_COLUMNAR_FLOOR = 1.0
+
+#: minimum supervised / direct ingest throughput ratio: wrapping every
+#: call in the sharding tier's RetryPolicy costs one generator and one
+#: ``try`` frame on the success path, which must stay under 5% of
+#: throughput; shared with check_perf_regression.
+SUPERVISED_INGEST_FLOOR = 0.95
 
 #: worker processes in the sharded benchmark
 SHARDED_WORKERS = 4
@@ -459,6 +470,86 @@ def _bench_durability(n_series: int, online_points: int) -> list[dict]:
     ]
 
 
+def _bench_supervision(n_series: int, online_points: int) -> list[dict]:
+    """Per-call overhead of the fault-supervision retry wrapper.
+
+    The self-healing router wraps worker requests in
+    :meth:`~repro.faults.RetryPolicy.call`; on the success path that is
+    one ``delays()`` generator plus one ``try`` frame per call.  Both
+    sides drive the identical per-chunk ``ingest_many`` call pattern --
+    each chunk is its own call, matching the router's one-request-per-
+    batch granularity -- over their own contiguous stream windows.  The
+    windows run as alternating pairs with the starting side swapped each
+    round, and each side keeps its best pass (the blocked-vs-per-round
+    idiom): the gated ratio is overhead in the ~1% range, so a single
+    load spike landing on one side would otherwise dominate it.
+    """
+    from repro.faults import RetryPolicy
+
+    pairs = 3
+    data = _fleet_data(n_series, 2 * pairs * online_points + 8)
+    online_start = INITIALIZATION + ONLINE_WARMUP
+    position = online_start
+
+    def take_grids(rounds, chunk_rounds):
+        nonlocal position
+        chunks = []
+        taken = 0
+        while taken < rounds:
+            count = min(chunk_rounds, rounds - taken)
+            chunks.append(
+                {
+                    key: data[key][position + taken : position + taken + count]
+                    for key in data
+                }
+            )
+            taken += count
+        position += rounds
+        return chunks
+
+    engine = _warmed_engine(data)
+    engine.ingest_many(take_grids(4, WAL_CHUNK_ROUNDS))  # settle, untimed
+    policy = RetryPolicy()
+    direct = supervised = math.inf
+    for round_index in range(pairs):
+        order = (
+            ("direct", "supervised")
+            if round_index % 2 == 0
+            else ("supervised", "direct")
+        )
+        for mode in order:
+            chunks = take_grids(online_points, WAL_CHUNK_ROUNDS)
+            if mode == "supervised":
+                start = time.perf_counter()
+                for chunk in chunks:
+                    policy.call(lambda chunk=chunk: engine.ingest_many([chunk]))
+                supervised = min(supervised, time.perf_counter() - start)
+            else:
+                start = time.perf_counter()
+                for chunk in chunks:
+                    engine.ingest_many([chunk])
+                direct = min(direct, time.perf_counter() - start)
+
+    total = n_series * online_points
+    return [
+        {
+            "config": "engine ingest_many (direct calls)",
+            "series": n_series,
+            "online_points": total,
+            "points_per_sec": total / direct,
+            "us_per_point": direct / total * 1e6,
+        },
+        {
+            "config": "engine ingest_many (supervised retry wrapper)",
+            "series": n_series,
+            "online_points": total,
+            "points_per_sec": total / supervised,
+            "us_per_point": supervised / total * 1e6,
+            "supervised_ingest_ratio": direct / supervised,
+        },
+    ]
+
+
 def _bench_sharded(smoke: bool, n_workers: int = SHARDED_WORKERS) -> list[dict]:
     """Aggregate throughput and failover latency of the sharded tier.
 
@@ -563,6 +654,7 @@ def _collect(smoke: bool = False) -> list[dict]:
         )
     rows.append(_bench_absorption(total=120 if smoke else 500))
     rows.extend(_bench_durability(largest, points_per_series[largest]))
+    rows.extend(_bench_supervision(largest, points_per_series[largest]))
     rows.extend(_bench_sharded(smoke))
     return rows
 
@@ -636,11 +728,16 @@ def _check_durability(rows: list[dict]) -> list[str]:
       ``WAL_INGEST_FLOOR`` of the WAL-off throughput;
     * an incremental checkpoint touching one dirty cohort of the large
       fleet must be at least ``CHECKPOINT_SPEEDUP_FLOOR`` times faster
-      than re-serializing the whole fleet.
+      than re-serializing the whole fleet;
+    * the supervision retry wrapper must keep at least
+      ``SUPERVISED_INGEST_FLOOR`` of the direct-call throughput.
     """
     wal_row = next(row for row in rows if "wal_ingest_ratio" in row)
     speedup_row = next(
         row for row in rows if "checkpoint_incremental_speedup" in row
+    )
+    supervised_row = next(
+        row for row in rows if "supervised_ingest_ratio" in row
     )
     checks = [
         (
@@ -654,6 +751,12 @@ def _check_durability(rows: list[dict]) -> list[str]:
             f"(speedup {speedup_row['checkpoint_incremental_speedup']:.1f})",
             speedup_row["checkpoint_incremental_speedup"]
             >= CHECKPOINT_SPEEDUP_FLOOR,
+        ),
+        (
+            f"supervised ingest >= {SUPERVISED_INGEST_FLOOR:.0%} of direct "
+            f"(ratio {supervised_row['supervised_ingest_ratio']:.2f})",
+            supervised_row["supervised_ingest_ratio"]
+            >= SUPERVISED_INGEST_FLOOR,
         ),
     ]
     lines = []
@@ -754,6 +857,11 @@ def _emit(rows: list[dict], smoke: bool) -> None:
         ),
         wal_ingest_ratio=next(
             row["wal_ingest_ratio"] for row in rows if "wal_ingest_ratio" in row
+        ),
+        supervised_ingest_ratio=next(
+            row["supervised_ingest_ratio"]
+            for row in rows
+            if "supervised_ingest_ratio" in row
         ),
         checkpoint_full_seconds=next(
             row["checkpoint_seconds"]

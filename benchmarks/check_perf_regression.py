@@ -18,7 +18,9 @@ row input (a historical regression), that the time-blocked kernel beats
 the per-round baseline by at least ``TIME_BLOCKED_FLOOR``, that
 one-at-a-time kernel absorption stayed linear, that group-committing
 ingested batches to the write-ahead log keeps at least
-``WAL_INGEST_FLOOR`` of the WAL-off throughput, that an incremental
+``WAL_INGEST_FLOOR`` of the WAL-off throughput, that the fault-
+supervision retry wrapper keeps at least ``SUPERVISED_INGEST_FLOOR`` of
+the direct-call ingest throughput, that an incremental
 checkpoint of the 1000-series fleet with one dirty cohort stays at least
 5x faster than a full snapshot, and that the sharded tier (the 10k-series
 fleet fanned out across 4 worker processes) keeps its aggregate
@@ -86,6 +88,7 @@ def current_run_checks(current: dict, source: str) -> list[str]:
         CHECKPOINT_SPEEDUP_FLOOR,
         INPUT_PATH_TOLERANCE,
         SHARDED_COLUMNAR_FLOOR,
+        SUPERVISED_INGEST_FLOOR,
         TIME_BLOCKED_FLOOR,
         WAL_INGEST_FLOOR,
     )
@@ -134,6 +137,21 @@ def current_run_checks(current: dict, source: str) -> list[str]:
         failures.append(
             f"WAL-on ingest fell below {WAL_INGEST_FLOOR:.0%} of WAL-off "
             f"throughput (ratio {wal_ratio:.2f})"
+        )
+    try:
+        supervised_ratio = current["supervised_ingest_ratio"]
+    except KeyError as error:
+        raise SystemExit(
+            f"{source}: missing {error.args[0]!r}; regenerate with "
+            "bench_engine_throughput.py (the workload includes the "
+            "supervision row)"
+        )
+    if supervised_ratio < SUPERVISED_INGEST_FLOOR:
+        failures.append(
+            f"retry-supervised ingest fell below "
+            f"{SUPERVISED_INGEST_FLOOR:.0%} of direct-call throughput "
+            f"(ratio {supervised_ratio:.2f}): the supervision wrapper's "
+            "success path grew a real per-call cost"
         )
     if speedup < CHECKPOINT_SPEEDUP_FLOOR:
         failures.append(

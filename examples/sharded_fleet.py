@@ -20,13 +20,23 @@ horizontally while keeping its exactness contract:
    in-flight slice survived into the WAL, so the caller knows exactly
    whether to re-send it;
 5. the recovered cluster's outputs are compared against a single
-   uninterrupted in-process engine to show nothing drifted.
+   uninterrupted in-process engine to show nothing drifted;
+6. a *hung* worker (injected via the ``repro.faults`` plan a router can
+   ship to its workers) is caught by the request watchdog -- the router
+   SIGKILLs it past the deadline and fails over, reporting
+   ``cause="hang"`` instead of ``"crash"``;
+7. a corrupted checkpoint segment (one flipped bit on disk) is
+   quarantined on the next start under the router's default
+   ``recovery="quarantine"`` policy: the shard comes up serving every
+   other series, and ``router.health()`` names exactly the keys that
+   were lost with the damaged cohort.
 
 Run with::
 
     PYTHONPATH=src python examples/sharded_fleet.py
 """
 
+import json
 import os
 import shutil
 import signal
@@ -35,7 +45,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.sharding import ClusterSpec, ShardFailoverError, ShardRouter
+from repro.faults import WORKER_RECV, FaultInjector
+from repro.sharding import (
+    ClusterSpec,
+    ConsistentHashRing,
+    ShardFailoverError,
+    ShardRouter,
+)
 from repro.specs import DecomposerSpec, DetectorSpec, EngineSpec, PipelineSpec
 from repro.streaming import MultiSeriesEngine
 
@@ -155,6 +171,63 @@ def main() -> None:
         assert not drifted, "failover must be bit-identical"
 
     print(f"closed cleanly; stores under {root} survive for the next run")
+
+    # ------------------------------------------- self-healing demo: hang
+    # A worker that stops answering (a livelock, a stuck disk) is worse
+    # than one that dies: nothing closes the pipe.  The router's watchdog
+    # times the request out, SIGKILLs the hung worker and fails over the
+    # same way -- the injected fault below makes the victim sleep on its
+    # next command, far past the 2 s request deadline.
+    victim = ConsistentHashRing(
+        [shard.shard_id for shard in cluster.shards]
+    ).shard_for("sensor-000")
+    hang_plan = [FaultInjector(point=WORKER_RECV, action="hang", duration=60.0)]
+    with ShardRouter(
+        cluster, request_timeout=2.0, fault_plans={victim: hang_plan}
+    ) as router:
+        try:
+            router.forecast("sensor-000", PERIOD)
+        except ShardFailoverError as failover:
+            print(
+                f"hang: shard {failover.shard_id!r} missed its deadline "
+                f"(cause={failover.cause!r}); watchdog killed it and a "
+                "replacement recovered the store"
+            )
+        router.forecast("sensor-000", PERIOD)  # the replacement answers
+        health = router.health()[victim]
+        print(
+            f"health after the hang: state={health.state!r}, "
+            f"restarts={health.restarts}"
+        )
+
+    # ------------------------------------- self-healing demo: corruption
+    # Flip one bit inside a checkpoint segment -- silent disk corruption.
+    # recovery="strict" (the engine default) would refuse the store; the
+    # router's default recovery="quarantine" moves the damaged cohort
+    # aside, serves everything else, and names the lost keys in health().
+    store_root = Path(
+        next(s.store_path for s in cluster.shards if s.shard_id == victim)
+    )
+    manifest = json.loads((store_root / "MANIFEST.json").read_text())
+    segment = manifest["cohorts"][0]["segment"]
+    segment_path = store_root / "segments" / segment
+    raw = bytearray(segment_path.read_bytes())
+    raw[len(raw) // 2] ^= 0x01
+    segment_path.write_bytes(bytes(raw))
+    print(f"flipped one bit in {victim!r}'s segment {segment!r}")
+
+    with ShardRouter(cluster) as router:
+        health = router.health()[victim]
+        stats = router.stats()
+        print(
+            f"quarantine: shard {victim!r} came up {health.state!r}, "
+            f"lost {len(health.quarantined_keys)} series "
+            f"({sorted(health.quarantined_keys)[:3]} ...); cluster serves "
+            f"{stats.series_total}/{N_SERIES} series"
+        )
+        assert health.state == "degraded"
+        assert 0 < stats.series_total < N_SERIES
+
     shutil.rmtree(root.parent, ignore_errors=True)
 
 

@@ -35,6 +35,14 @@ from repro.durability.format import (
     CheckpointSummary,
     migrate_snapshot_payload,
 )
+from repro.durability.scrub import (
+    RECOVERY_POLICIES,
+    QuarantinedCohort,
+    QuarantinedWalSuffix,
+    RecoveryReport,
+    ScrubFinding,
+    ScrubReport,
+)
 from repro.durability.store import (
     CheckpointStore,
     SingleSnapshotStore,
@@ -49,6 +57,12 @@ __all__ = [
     "CheckpointVersionError",
     "CorruptCheckpointError",
     "DirectoryCheckpointStore",
+    "QuarantinedCohort",
+    "QuarantinedWalSuffix",
+    "RECOVERY_POLICIES",
+    "RecoveryReport",
+    "ScrubFinding",
+    "ScrubReport",
     "SingleSnapshotStore",
     "StoreLock",
     "StoreLockedError",

@@ -51,9 +51,14 @@ import zlib
 from pathlib import Path
 from typing import BinaryIO, Callable, Iterator
 
-from repro.durability.errors import CorruptCheckpointError
-from repro.durability.format import next_wal_name
+from repro.durability.errors import CheckpointError, CorruptCheckpointError
+from repro.durability.format import (
+    decode_segment,
+    next_wal_name,
+    validate_manifest,
+)
 from repro.durability.lock import DEFAULT_STALE_AFTER, LOCK_FILE_NAME, StoreLock
+from repro.durability.scrub import ScrubFinding, ScrubReport
 from repro.durability.store import (
     CheckpointStore,
     atomic_write_bytes,
@@ -68,6 +73,7 @@ _FRAME_HEADER = struct.Struct("<II")
 _MANIFEST_FILE = "MANIFEST.json"
 _SEGMENT_DIRECTORY = "segments"
 _WAL_DIRECTORY = "wal"
+_QUARANTINE_DIRECTORY = "quarantine"
 
 
 class DirectoryCheckpointStore(CheckpointStore):
@@ -150,6 +156,9 @@ class DirectoryCheckpointStore(CheckpointStore):
                     pass
         self._wal_handle: BinaryIO | None = None
         self._wal_open_name: str | None = None
+        #: last segment written through this store instance (fault
+        #: injectors use it to target "the segment just checkpointed")
+        self.last_segment_name: str | None = None
         #: byte offset of the last complete frame in the open WAL segment,
         #: and whether a failed append may have left torn bytes after it
         self._wal_good_offset = 0
@@ -214,6 +223,7 @@ class DirectoryCheckpointStore(CheckpointStore):
             payload,
             pre_replace_hook=lambda: self._fault("segment.write.tmp"),
         )
+        self.last_segment_name = name
         self._fault("segment.write.after")
 
     def read_segment(self, name: str) -> bytes:
@@ -403,6 +413,39 @@ class DirectoryCheckpointStore(CheckpointStore):
             for payload, _offset in self._read_frames(handle):
                 yield payload
 
+    def wal_frames(self, name: str) -> Iterator[tuple[bytes, int]]:
+        """Yield ``(payload, end_offset)`` for every readable frame.
+
+        Like :meth:`wal_records` but with each frame's end byte offset,
+        so corruption-tolerant recovery can say exactly where the
+        readable prefix of a damaged segment ends.
+        """
+        try:
+            handle = open(self._wal_path(name), "rb")
+        except FileNotFoundError:
+            return
+        with handle:
+            yield from self._read_frames(handle)
+
+    def wal_tail(self, name: str) -> tuple[int, int, int]:
+        """``(frames, good_offset, total_bytes)`` of one WAL segment.
+
+        ``good_offset`` is the end of the readable frame prefix;
+        ``good_offset < total_bytes`` means the segment carries torn or
+        corrupt bytes after it.  Raises :class:`FileNotFoundError` for a
+        missing segment.
+        """
+        if name == self._wal_open_name and self._wal_handle is not None:
+            self._wal_handle.flush()
+        frames = 0
+        good = 0
+        with open(self._wal_path(name), "rb") as handle:
+            for _payload, good in self._read_frames(handle):
+                frames += 1
+            handle.seek(0, os.SEEK_END)
+            total = handle.tell()
+        return frames, good, total
+
     def list_wals(self) -> list[str]:
         return sorted(
             entry.name
@@ -421,6 +464,195 @@ class DirectoryCheckpointStore(CheckpointStore):
             self._wal_path(name).unlink()
         except FileNotFoundError:
             pass
+
+    # ----------------------------------------------------------- quarantine
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Directory damaged artifacts are moved into (created lazily).
+
+        Outside ``segments/`` and ``wal/``, so quarantined files are
+        invisible to :meth:`list_segments` / :meth:`list_wals` and
+        survive checkpoint pruning -- the forensic evidence is kept, the
+        recovery path never trips over it again.
+        """
+        return self.root / _QUARANTINE_DIRECTORY
+
+    def _quarantine_target(self, name: str) -> Path:
+        directory = self.quarantine_dir
+        directory.mkdir(parents=True, exist_ok=True)
+        target = directory / name
+        suffix = 1
+        while target.exists():
+            target = directory / f"{name}.{suffix}"
+            suffix += 1
+        return target
+
+    def quarantine_segment(self, name: str) -> Path:
+        """Move a damaged cohort segment aside; returns its new path."""
+        target = self._quarantine_target(name)
+        os.replace(self._segment_path(name), target)
+        return target
+
+    def quarantine_wal_segment(self, name: str) -> Path:
+        """Move a whole WAL segment aside; returns its new path."""
+        if name == self._wal_open_name:
+            raise ValueError(
+                f"refusing to quarantine the open WAL segment {name!r}"
+            )
+        target = self._quarantine_target(name)
+        os.replace(self._wal_path(name), target)
+        return target
+
+    def quarantine_wal_suffix(self, name: str, from_offset: int) -> int:
+        """Move a WAL segment's bytes from ``from_offset`` on aside.
+
+        The readable prefix stays in place (its frames replayed fine);
+        the damaged suffix is copied to quarantine and truncated away so
+        later appends cannot sit beyond unreadable bytes.  Returns the
+        number of bytes quarantined.
+        """
+        if name == self._wal_open_name:
+            raise ValueError(
+                f"refusing to edit the open WAL segment {name!r}"
+            )
+        path = self._wal_path(name)
+        with open(path, "rb") as handle:
+            handle.seek(from_offset)
+            suffix = handle.read()
+        if suffix:
+            target = self._quarantine_target(f"{name}.suffix@{from_offset}")
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_bytes(suffix)
+            with open(path, "r+b") as handle:
+                handle.truncate(from_offset)
+        return len(suffix)
+
+    def list_quarantined(self) -> list[str]:
+        """Names of every quarantined artifact (empty when dir absent)."""
+        try:
+            return sorted(
+                entry.name
+                for entry in self.quarantine_dir.iterdir()
+                if entry.is_file()
+            )
+        except FileNotFoundError:
+            return []
+
+    # ----------------------------------------------------------------- scrub
+
+    def verify(self, deep: bool = True) -> ScrubReport:
+        """Scrub manifest -> segments -> WAL chain; report every problem.
+
+        Read-only: nothing is repaired or quarantined.  ``deep`` also
+        unpickles each cohort segment (CRC alone cannot catch a segment
+        written corrupt); frame CRCs already cover WAL payloads.  A torn
+        tail on the *final* WAL segment is reported non-fatal -- it is
+        ordinary crash debris that recovery truncates silently.
+        """
+        findings: list[ScrubFinding] = []
+        segments_checked = 0
+        wal_checked = 0
+        frames_checked = 0
+        source = self.manifest_path
+        try:
+            manifest = self.read_manifest()
+            if manifest is not None:
+                manifest = validate_manifest(manifest, source)
+        except CheckpointError as error:
+            findings.append(
+                ScrubFinding("manifest", "invalid", str(error))
+            )
+            manifest = None
+        if manifest is None:
+            return ScrubReport(findings=tuple(findings))
+
+        for cohort in manifest["cohorts"]:
+            name = cohort["segment"]
+            try:
+                payload = self._segment_path(name).read_bytes()
+            except FileNotFoundError:
+                findings.append(
+                    ScrubFinding(
+                        name,
+                        "missing",
+                        "cohort segment named by the manifest is absent",
+                    )
+                )
+                continue
+            segments_checked += 1
+            expected_crc = cohort.get("crc")
+            if expected_crc is not None and zlib.crc32(payload) != expected_crc:
+                findings.append(
+                    ScrubFinding(
+                        name,
+                        "crc_mismatch",
+                        f"segment bytes hash to {zlib.crc32(payload)}, "
+                        f"manifest says {expected_crc}",
+                    )
+                )
+                continue
+            if deep:
+                try:
+                    decode_segment(payload, self._segment_path(name))
+                except CheckpointError as error:
+                    findings.append(
+                        ScrubFinding(name, "undecodable", str(error))
+                    )
+
+        # The replayable chain is the manifest's, extended by existence
+        # (rotation after the checkpoint adds parts the manifest never
+        # saw) -- the same walk recovery does.
+        chain = list(manifest["wal"])
+        while True:
+            successor = next_wal_name(chain[-1])
+            if not self.wal_exists(successor):
+                break
+            chain.append(successor)
+        for position, name in enumerate(chain):
+            final = position == len(chain) - 1
+            try:
+                frames, good, total = self.wal_tail(name)
+            except FileNotFoundError:
+                findings.append(
+                    ScrubFinding(
+                        name,
+                        "missing",
+                        "WAL segment named by the manifest chain is absent",
+                    )
+                )
+                continue
+            wal_checked += 1
+            frames_checked += frames
+            if good < total:
+                if final:
+                    findings.append(
+                        ScrubFinding(
+                            name,
+                            "torn_tail",
+                            f"{total - good} torn bytes after the last "
+                            f"complete frame (offset {good}) -- crash "
+                            "debris, repaired on next recovery",
+                            fatal=False,
+                        )
+                    )
+                else:
+                    findings.append(
+                        ScrubFinding(
+                            name,
+                            "trailing_bytes",
+                            f"{total - good} unreadable bytes at offset "
+                            f"{good} of a non-final chain segment: every "
+                            "record after them (including later segments) "
+                            "is unreachable",
+                        )
+                    )
+        return ScrubReport(
+            findings=tuple(findings),
+            segments_checked=segments_checked,
+            wal_segments_checked=wal_checked,
+            wal_frames_checked=frames_checked,
+        )
 
     def close_wal(self) -> None:
         """Close the open WAL segment handle (if any)."""

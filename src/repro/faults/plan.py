@@ -1,0 +1,288 @@
+"""Composable, deterministic fault plans.
+
+A :class:`FaultPlan` is a tuple of :class:`FaultInjector` entries, each
+naming a boundary *point*, an *action*, and a counter-based trigger
+window.  The plan keeps one hit counter per point; injector ``i`` fires
+on hits ``after .. after + times - 1`` of its point (``times=0`` means
+forever).  There is no randomness and no clock in the trigger logic, so
+a plan reproduces the same failure at the same operation on every run --
+the property the fault-matrix oracle tests lean on.
+
+Actions
+-------
+``sigkill``
+    ``SIGKILL`` this process -- nothing runs after the boundary, exactly
+    the on-disk state a hardware-level death leaves.
+``raise`` (alias ``torn`` for readability at ``wal.append.torn``)
+    Raise ``OSError(errno_code)`` (default ``ENOSPC``).  At the store's
+    ``wal.append.torn`` point the store turns any raise into a *torn
+    partial write* -- half the frame persists -- before re-raising, so
+    attaching ``torn`` there simulates a mid-write I/O failure.
+``bit_flip``
+    Flip one bit of an on-disk artifact (``target``: the open ``wal``
+    segment, the last written ``segment``, or the ``manifest``) at a
+    deterministic byte offset, then continue silently -- the corruption
+    is discovered later, by ``store.verify()`` or recovery.
+``hang``
+    Sleep ``duration`` seconds (default far beyond any request timeout):
+    the worker is alive but unresponsive, which is what the router's
+    watchdog must distinguish from a crash.
+``delay``
+    Sleep ``duration`` seconds, then continue -- a slow reply, not a
+    dead one.
+``drop``
+    Cooperative: :meth:`FaultPlan.fire` returns ``"drop"`` and the
+    caller discards the message (the shard worker skips its reply, so
+    state advanced but the confirmation is lost).
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import signal
+import time
+from dataclasses import dataclass, fields
+from typing import Any, Iterable
+
+__all__ = ["FaultInjector", "FaultPlan", "WORKER_RECV", "WORKER_REPLY"]
+
+#: worker command-loop boundary: a command was received, not yet executed
+WORKER_RECV = "worker.recv.after"
+#: worker command-loop boundary: the reply is computed, not yet sent
+WORKER_REPLY = "worker.reply.before"
+
+_ACTIONS = ("sigkill", "raise", "torn", "bit_flip", "hang", "delay", "drop")
+_BIT_FLIP_TARGETS = ("wal", "segment", "manifest")
+
+#: default hang duration: longer than any sane request timeout, short
+#: enough that a leaked sleeper cannot outlive a test session by much
+_DEFAULT_HANG_SECONDS = 600.0
+
+
+@dataclass(frozen=True, slots=True)
+class FaultInjector:
+    """One named fault: *what* happens, *where*, and on *which* hits.
+
+    Parameters
+    ----------
+    point:
+        Boundary name (a store kill point or a worker-loop boundary).
+    action:
+        One of ``sigkill | raise | torn | bit_flip | hang | delay | drop``.
+    after:
+        1-based hit of ``point`` on which the injector starts firing.
+    times:
+        How many consecutive hits fire (``0``: every hit from ``after``
+        on -- the crash-loop shape).
+    persist:
+        Router-side: re-arm this injector in replacement workers spawned
+        by failover (default ``False``: consumed by the first worker, so
+        a replacement starts clean).
+    errno_code:
+        For ``raise``/``torn``: the ``OSError`` errno (default ENOSPC).
+    duration:
+        For ``hang``/``delay``: seconds to sleep.
+    target / byte_offset:
+        For ``bit_flip``: which artifact to corrupt (``wal`` --
+        the open WAL segment, ``segment`` -- the last written cohort
+        segment, ``manifest``) and where (byte offset; negative counts
+        from the end; ``None``: the middle of the file).
+    """
+
+    point: str
+    action: str
+    after: int = 1
+    times: int = 1
+    persist: bool = False
+    errno_code: int | None = None
+    duration: float | None = None
+    target: str = "wal"
+    byte_offset: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; known: {_ACTIONS}"
+            )
+        if self.after < 1:
+            raise ValueError(f"after must be >= 1, got {self.after}")
+        if self.times < 0:
+            raise ValueError(f"times must be >= 0 (0 = forever), got {self.times}")
+        if self.action == "bit_flip" and self.target not in _BIT_FLIP_TARGETS:
+            raise ValueError(
+                f"bit_flip target must be one of {_BIT_FLIP_TARGETS}, "
+                f"got {self.target!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "FaultInjector":
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(document) - known)
+        if unknown:
+            raise ValueError(f"unknown FaultInjector fields {unknown}")
+        return cls(**document)
+
+
+class FaultPlan:
+    """A set of injectors sharing per-point hit counters.
+
+    Install into a store with :meth:`install` (becomes its
+    ``fault_hook`` and binds ``bit_flip`` targets), or call
+    :meth:`fire` directly at cooperative boundaries.  Counters are
+    per-process and start at zero -- a plan shipped to a worker process
+    counts that worker's own boundary hits.
+    """
+
+    __slots__ = ("injectors", "_hits", "_fired", "_store")
+
+    def __init__(self, injectors: Iterable[FaultInjector] = ()):
+        self.injectors: tuple[FaultInjector, ...] = tuple(injectors)
+        self._hits: dict[str, int] = {}
+        self._fired: dict[int, int] = {}
+        self._store: Any = None
+
+    def bind_store(self, store: Any) -> None:
+        """Give ``bit_flip`` injectors access to the store's files."""
+        self._store = store
+
+    def install(self, store: Any) -> None:
+        """Bind the store and become its ``fault_hook``."""
+        self.bind_store(store)
+        store.fault_hook = self.fire
+
+    def fire(self, point: str) -> str | None:
+        """Register one hit of ``point``; run any armed injector.
+
+        Returns ``"drop"`` when a ``drop`` injector fired (the caller
+        discards the message); ``None`` otherwise.  ``raise``/``torn``
+        injectors raise, ``sigkill`` does not return.
+        """
+        hit = self._hits.get(point, 0) + 1
+        self._hits[point] = hit
+        directive: str | None = None
+        for index, injector in enumerate(self.injectors):
+            if injector.point != point or hit < injector.after:
+                continue
+            fired = self._fired.get(index, 0)
+            if injector.times and fired >= injector.times:
+                continue
+            self._fired[index] = fired + 1
+            outcome = self._run(injector)
+            if outcome is not None:
+                directive = outcome
+        return directive
+
+    def _run(self, injector: FaultInjector) -> str | None:
+        action = injector.action
+        if action == "sigkill":
+            # A real SIGKILL, not an exception: no finally, no atexit, no
+            # checkpoint-on-close runs after the boundary.
+            os.kill(os.getpid(), signal.SIGKILL)
+        if action in ("raise", "torn"):
+            code = injector.errno_code or errno.ENOSPC
+            raise OSError(
+                code,
+                f"injected {action} fault at {injector.point!r} "
+                f"({os.strerror(code)})",
+            )
+        if action == "hang":
+            time.sleep(
+                _DEFAULT_HANG_SECONDS
+                if injector.duration is None
+                else injector.duration
+            )
+            return None
+        if action == "delay":
+            time.sleep(injector.duration or 0.0)
+            return None
+        if action == "drop":
+            return "drop"
+        if action == "bit_flip":
+            self._bit_flip(injector)
+            return None
+        raise AssertionError(f"unreachable action {action!r}")
+
+    def _bit_flip(self, injector: FaultInjector) -> None:
+        """Flip one bit of the injector's target file, deterministically."""
+        store = self._store
+        if store is None:
+            raise RuntimeError(
+                "bit_flip injector fired on an unbound FaultPlan; call "
+                "plan.install(store) (or bind_store) first"
+            )
+        if injector.target == "wal":
+            name = store._wal_open_name
+            if name is None:
+                raise RuntimeError("bit_flip target 'wal': no WAL segment open")
+            if store._wal_handle is not None:
+                store._wal_handle.flush()
+            path = store._wal_path(name)
+        elif injector.target == "segment":
+            name = store.last_segment_name
+            if name is None:
+                raise RuntimeError(
+                    "bit_flip target 'segment': no segment written yet"
+                )
+            path = store._segment_path(name)
+        else:  # manifest
+            path = store.manifest_path
+        with open(path, "r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                raise RuntimeError(f"bit_flip: {path} is empty")
+            offset = injector.byte_offset
+            if offset is None:
+                offset = size // 2
+            elif offset < 0:
+                offset = size + offset
+            offset = min(max(offset, 0), size - 1)
+            handle.seek(offset)
+            original = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes((original[0] ^ 0x01,)))
+
+    # ------------------------------------------------------------- plumbing
+
+    def survivors(self) -> "FaultPlan":
+        """The sub-plan a replacement worker should be armed with."""
+        return FaultPlan(
+            injector for injector in self.injectors if injector.persist
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "injectors": [injector.to_dict() for injector in self.injectors]
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "FaultPlan":
+        if not isinstance(document, dict) or "injectors" not in document:
+            raise ValueError(
+                "FaultPlan document must be {'injectors': [...]}, got "
+                f"{type(document).__name__}"
+            )
+        return cls(
+            FaultInjector.from_dict(entry) for entry in document["injectors"]
+        )
+
+    @classmethod
+    def coerce(
+        cls, plan: "FaultPlan | Iterable[FaultInjector] | dict"
+    ) -> "FaultPlan":
+        """Accept a plan, an injector iterable, or a ``to_dict`` document."""
+        if isinstance(plan, FaultPlan):
+            return plan
+        if isinstance(plan, dict):
+            return cls.from_dict(plan)
+        return cls(plan)
+
+    def __bool__(self) -> bool:
+        return bool(self.injectors)
+
+    def __repr__(self) -> str:
+        return f"FaultPlan({list(self.injectors)!r})"

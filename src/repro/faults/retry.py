@@ -1,0 +1,74 @@
+"""Bounded exponential backoff for transient failures.
+
+The policy is pure data (frozen dataclass) and fully deterministic: no
+jitter, no clock reads in the schedule itself.  The router's supervision
+layer uses it to decide how many times a transiently failing shard
+request is re-sent and how long to sleep between attempts; it works just
+as well standalone around any callable via :meth:`RetryPolicy.call`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterator, TypeVar
+
+__all__ = ["RetryPolicy"]
+
+_T = TypeVar("_T")
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Up to ``attempts`` tries with bounded exponential backoff.
+
+    ``delays()`` yields ``attempts - 1`` sleep durations:
+    ``base_delay * multiplier**i`` capped at ``max_delay``.  With the
+    defaults: 0.05 s, 0.2 s -- three attempts total, ~0.25 s worst-case
+    added latency before the failure is surfaced.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 4.0
+    max_delay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1.0, got {self.multiplier}"
+            )
+
+    def delays(self) -> Iterator[float]:
+        """Sleep durations between consecutive attempts."""
+        delay = self.base_delay
+        for _ in range(self.attempts - 1):
+            yield min(delay, self.max_delay)
+            delay *= self.multiplier
+
+    def call(
+        self,
+        fn: Callable[[], _T],
+        *,
+        transient: tuple[type[BaseException], ...] = (OSError,),
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> _T:
+        """Run ``fn``, retrying on ``transient`` exceptions.
+
+        The final attempt's exception propagates unchanged.  ``sleep``
+        is injectable so tests (and the supervision bench row) can run
+        the schedule without wall-clock cost.
+        """
+        remaining = self.delays()
+        while True:
+            try:
+                return fn()
+            except transient:
+                pause = next(remaining, None)
+                if pause is None:
+                    raise
+                sleep(pause)

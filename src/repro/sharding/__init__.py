@@ -30,20 +30,30 @@ Start to finish::
 """
 
 from repro.sharding.errors import (
+    ShardDownError,
     ShardFailoverError,
     ShardingError,
     WorkerCrashError,
 )
 from repro.sharding.hashring import ConsistentHashRing
-from repro.sharding.router import ClusterStats, FailoverReport, ShardRouter
+from repro.sharding.router import (
+    ClusterStats,
+    DegradedResult,
+    FailoverReport,
+    ShardHealth,
+    ShardRouter,
+)
 from repro.sharding.spec import ClusterSpec, ShardSpec
 
 __all__ = [
     "ClusterSpec",
     "ClusterStats",
     "ConsistentHashRing",
+    "DegradedResult",
     "FailoverReport",
+    "ShardDownError",
     "ShardFailoverError",
+    "ShardHealth",
     "ShardRouter",
     "ShardSpec",
     "ShardingError",

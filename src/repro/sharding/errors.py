@@ -19,6 +19,7 @@ an operator's console far from the worker that caused it.
 from __future__ import annotations
 
 __all__ = [
+    "ShardDownError",
     "ShardFailoverError",
     "ShardingError",
     "WorkerCrashError",
@@ -27,6 +28,37 @@ __all__ = [
 
 class ShardingError(RuntimeError):
     """Base class for shard-router and worker-lifecycle failures."""
+
+
+class ShardDownError(ShardingError):
+    """A shard's circuit breaker is open: it is marked ``down``.
+
+    Raised by strict (non-``allow_partial``) requests that need a shard
+    whose crash loop exhausted the router's failover budget
+    (``circuit_threshold`` consecutive failures).  The shard stays down
+    -- no automatic respawn attempts -- until an operator-level
+    :meth:`~repro.sharding.ShardRouter.failover` succeeds, which resets
+    the breaker.  ``skipped_keys`` names this request's keys that the
+    shard would have served (empty for key-less requests like
+    ``stats``); ``allow_partial=True`` requests serve the surviving
+    shards instead and report the same keys in their degraded result.
+    """
+
+    def __init__(self, shard_id: str, detail: str, skipped_keys: tuple = ()):
+        self.shard_id = str(shard_id)
+        self.detail = str(detail)
+        self.skipped_keys = tuple(skipped_keys)
+        named = (
+            f"; this request's affected keys: {list(self.skipped_keys)!r}"
+            if self.skipped_keys
+            else ""
+        )
+        super().__init__(
+            f"shard {self.shard_id!r} is down (circuit breaker open): "
+            f"{self.detail}{named}.  Fix the underlying fault and call "
+            "router.failover() to bring it back, or pass "
+            "allow_partial=True to serve the surviving shards"
+        )
 
 
 class WorkerCrashError(ShardingError):
@@ -64,14 +96,23 @@ class ShardFailoverError(ShardingError):
     ``recovered_points``
         Total observation count the replacement recovered to, for audit
         logs.
+    ``cause``
+        How the worker died: ``"crash"`` (process exited / was killed) or
+        ``"hang"`` (alive but unresponsive past the request deadline; the
+        router's watchdog SIGKILLed it before failing over).
     """
 
     def __init__(
-        self, shard_id: str, batch_survived: bool, recovered_points: int
+        self,
+        shard_id: str,
+        batch_survived: bool,
+        recovered_points: int,
+        cause: str = "crash",
     ):
         self.shard_id = str(shard_id)
         self.batch_survived = bool(batch_survived)
         self.recovered_points = int(recovered_points)
+        self.cause = str(cause)
         action = (
             "its slice of the in-flight batch survived into the WAL and "
             "is applied; do not re-send it"
@@ -80,8 +121,13 @@ class ShardFailoverError(ShardingError):
             "WAL append; re-send this shard's keys (other shards applied "
             "theirs)"
         )
+        died = (
+            "worker hung past its deadline (watchdog-killed)"
+            if self.cause == "hang"
+            else "worker died mid-request"
+        )
         super().__init__(
-            f"shard {self.shard_id!r}: worker died mid-request and a "
+            f"shard {self.shard_id!r}: {died} and a "
             f"replacement recovered its store "
             f"(recovered_points={self.recovered_points}); {action}"
         )

@@ -17,48 +17,60 @@ shard per batch**, never per-point IPC -- and the worker feeds it to
 before state advances as always, then replies with the
 :class:`~repro.streaming.IngestResult` arrays for fan-in.
 
-Validation failures (bad values, unknown keys) are replied as ``error``
-messages and the loop continues; the worker only exits on ``close``, a
-broken pipe (router gone), or a crash.  Fault injection for the
-cross-process kill-point oracle arms the store's ``fault_hook`` to
-``SIGKILL`` the process at a named durability boundary -- a real kill,
-exercising real recovery.
+Failure discipline: **every** exception a command raises is replied as an
+``error`` message -- ``(kind, message, traceback_text)`` -- and the loop
+continues.  A worker process only dies from ``close``, a broken pipe
+(router gone), or genuine kill injection; an unexpected ``OSError`` from
+a full disk must *not* silently kill the worker and burn the router's
+whole request timeout discovering it.
+
+Fault injection is a :class:`~repro.faults.FaultPlan` shipped through
+``options`` as a dict: it installs on the store's ``fault_hook`` (the
+durability kill points) and fires at two loop boundaries of its own --
+:data:`~repro.faults.WORKER_RECV` after a command arrives and
+:data:`~repro.faults.WORKER_REPLY` before its reply is sent (a ``drop``
+there loses the confirmation of applied work, the
+watchdog-then-failover shape).
 """
 
 from __future__ import annotations
 
 import os
-import signal
+import traceback
 from typing import Any
 
 from repro.durability import DirectoryCheckpointStore
 from repro.durability.lock import DEFAULT_STALE_AFTER
+from repro.faults import WORKER_RECV, WORKER_REPLY, FaultInjector, FaultPlan
 from repro.specs import EngineSpec
 from repro.streaming.engine import MultiSeriesEngine
 
 __all__ = ["worker_main"]
 
 
-def _arm_kill(
-    store: DirectoryCheckpointStore, kill_point: str, kill_after: int
-) -> None:
-    """SIGKILL this process at the ``kill_after``-th hit of ``kill_point``.
+def _build_plan(options: dict) -> FaultPlan:
+    """Assemble the worker's fault plan from its options.
 
-    SIGKILL (not an exception) so nothing -- no ``finally``, no atexit,
-    no checkpoint-on-close -- runs after the boundary: the surviving
-    on-disk state is exactly what a hardware-level process death leaves.
+    ``fault_plan`` ships a full :meth:`FaultPlan.to_dict` document; the
+    legacy ``kill_point`` / ``kill_after`` pair (PR 7's oracle tests)
+    translates into one SIGKILL injector appended to it.
     """
-    remaining = kill_after
-
-    def hook(point: str) -> None:
-        nonlocal remaining
-        if point != kill_point:
-            return
-        remaining -= 1
-        if remaining <= 0:
-            os.kill(os.getpid(), signal.SIGKILL)
-
-    store.fault_hook = hook
+    plan = FaultPlan.from_dict(
+        options.get("fault_plan") or {"injectors": []}
+    )
+    kill_point = options.get("kill_point")
+    if kill_point is None:
+        return plan
+    return FaultPlan(
+        plan.injectors
+        + (
+            FaultInjector(
+                point=str(kill_point),
+                action="sigkill",
+                after=int(options.get("kill_after", 1)),
+            ),
+        )
+    )
 
 
 def _points_total(engine: MultiSeriesEngine) -> int:
@@ -91,8 +103,11 @@ def worker_main(
         series.
     options:
         ``wal_sync`` / ``stale_after`` store knobs;
-        ``checkpoint_interval`` engine knob; ``kill_point`` +
-        ``kill_after`` arm the fault-injection SIGKILL (tests only).
+        ``checkpoint_interval`` engine knob; ``recovery`` selects the
+        engine's corruption policy (``strict|truncate|quarantine``);
+        ``fault_plan`` (a :meth:`FaultPlan.to_dict` document) and the
+        legacy ``kill_point`` + ``kill_after`` arm fault injection
+        (tests only).
     """
     options = options or {}
     spec = EngineSpec.from_dict(spec_dict)
@@ -103,19 +118,30 @@ def worker_main(
             exclusive=True,
             stale_after=options.get("stale_after", DEFAULT_STALE_AFTER),
         )
+        # The plan installs before recovery so injectors can target
+        # recovery-time boundaries (e.g. crash while re-checkpointing a
+        # quarantined store) as well as serving-time ones.
+        plan = _build_plan(options)
+        plan.install(store)
         had_state = store.read_manifest() is not None
-        engine = MultiSeriesEngine.open(store, spec=spec)
+        engine = MultiSeriesEngine.open(
+            store,
+            spec=spec,
+            recovery=str(options.get("recovery", "strict")),
+        )
         if options.get("checkpoint_interval") is not None:
             engine.checkpoint_interval = int(options["checkpoint_interval"])
-        kill_point = options.get("kill_point")
-        if kill_point is not None:
-            _arm_kill(store, str(kill_point), int(options.get("kill_after", 1)))
     except BaseException as error:  # noqa: BLE001 -- reported, then re-raised
         try:
             conn.send(("fatal", f"{type(error).__name__}: {error}"))
         except OSError:
             pass
         raise
+    recovery_info = (
+        engine.last_recovery.to_dict()
+        if engine.last_recovery is not None and not engine.last_recovery.clean
+        else None
+    )
     conn.send(
         (
             "ready",
@@ -124,6 +150,7 @@ def worker_main(
                 "shard_id": shard_id,
                 "recovered": had_state,
                 "points_total": _points_total(engine),
+                "recovery": recovery_info,
             },
         )
     )
@@ -135,8 +162,15 @@ def worker_main(
             # Router gone: park the state safely and exit.
             engine.close(checkpoint=True)
             return
-        store.heartbeat()
         try:
+            # Heartbeat inside the try: a transiently failing lease
+            # refresh (e.g. injected ENOSPC) must surface as an error
+            # reply, not kill the worker.
+            store.heartbeat()
+            if plan.fire(WORKER_RECV) == "drop":
+                # The command "never arrived": no reply, no state change.
+                # The router's watchdog will time the request out.
+                continue
             if command == "ingest":
                 round_keys, grid = payload
                 result = engine.ingest_grid(round_keys, grid)
@@ -192,7 +226,25 @@ def worker_main(
                 return
             else:
                 raise ValueError(f"unknown worker command {command!r}")
-        except (ValueError, TypeError, KeyError, RuntimeError) as error:
-            conn.send(("error", (type(error).__name__, str(error))))
+        except Exception as error:  # noqa: BLE001 -- anything but process death
+            # Reply with the full picture: kind and message drive the
+            # router's retry/re-raise decision, the traceback rides along
+            # for the operator (an unexpected error's stack is otherwise
+            # lost with the worker's stderr).
+            conn.send(
+                (
+                    "error",
+                    (
+                        type(error).__name__,
+                        str(error),
+                        traceback.format_exc(),
+                    ),
+                )
+            )
+            continue
+        if plan.fire(WORKER_REPLY) == "drop":
+            # State advanced but the confirmation is lost: the watchdog
+            # escalates, failover replays the WAL, and the router learns
+            # the batch survived.
             continue
         conn.send(("ok", reply))

@@ -66,6 +66,7 @@ import gc
 import os
 import time
 import warnings
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Iterator, Sequence, Tuple
 
@@ -83,6 +84,15 @@ from repro.durability import (
     DirectoryCheckpointStore,
     SingleSnapshotStore,
     migrate_snapshot_payload,
+)
+from repro.durability.scrub import (
+    RECOVERY_POLICIES,
+    QuarantinedCohort,
+    QuarantinedWalSuffix,
+    RecoveryReport,
+    ScrubFinding,
+    decode_manifest_keys,
+    encode_manifest_keys,
 )
 from repro.durability.format import (
     build_manifest,
@@ -793,7 +803,13 @@ class MultiSeriesEngine:
         self._cohort_members: dict[int, list] = {}
         self._cohort_segments: dict[int, str] = {}
         self._cohort_markers: dict[int, dict] = {}
+        #: CRC32 of each clean cohort's segment payload, carried into the
+        #: manifest so store.verify() can check segments it cannot decode
+        self._cohort_crcs: dict[int, int] = {}
         self._next_cohort_id = 0
+        #: what the last open()/recovery actually did (None before any
+        #: recovery; a clean report on undamaged stores)
+        self.last_recovery: RecoveryReport | None = None
 
     # --------------------------------------------------------- construction
 
@@ -1818,6 +1834,7 @@ class MultiSeriesEngine:
         cls,
         store: "CheckpointStore | str | os.PathLike",
         spec: EngineSpec | None = None,
+        recovery: str = "strict",
     ) -> "MultiSeriesEngine":
         """Open a durable engine session on ``store`` (create or recover).
 
@@ -1851,7 +1868,27 @@ class MultiSeriesEngine:
         unpickle in the recovering process (classes defined in a script's
         ``__main__`` or in modules absent on the recovery side will fail
         the replay with :class:`~repro.durability.CorruptCheckpointError`).
+
+        ``recovery`` selects the corruption policy:
+
+        * ``"strict"`` (default): any damaged artifact raises
+          :class:`~repro.durability.CorruptCheckpointError` -- nothing is
+          modified, nothing is silently lost.
+        * ``"truncate"``: a corrupt WAL frame ends replay there (the
+          readable prefix is kept, the rest of the chain is dropped from
+          replay but left on disk); segment damage still raises.
+        * ``"quarantine"``: damaged cohort segments and WAL suffixes are
+          *moved aside* into the store's ``quarantine/`` directory and
+          recovery continues with every unaffected series; the surviving
+          state is re-checkpointed immediately so the store is consistent
+          again.  What happened -- down to the affected series keys -- is
+          recorded on ``engine.last_recovery``.
         """
+        if recovery not in RECOVERY_POLICIES:
+            raise ValueError(
+                f"recovery must be one of {RECOVERY_POLICIES}, "
+                f"got {recovery!r}"
+            )
         store = cls._coerce_store(store)
         manifest = store.read_manifest()
         if manifest is None:
@@ -1879,7 +1916,7 @@ class MultiSeriesEngine:
                     "uses the stored spec.  Open without spec=, or use a "
                     f"fresh store.  stored={stored!r} given={spec!r}"
                 )
-        return cls._recover(store, manifest)
+        return cls._recover(store, manifest, recovery)
 
     def attach_store(
         self, store: "CheckpointStore | str | os.PathLike", checkpoint: bool = True
@@ -1917,6 +1954,7 @@ class MultiSeriesEngine:
         # first checkpoint writes complete segments into this store.
         self._cohort_segments = {}
         self._cohort_markers = {}
+        self._cohort_crcs = {}
         store.write_manifest(
             build_manifest(0, self.spec.to_dict(), [], wal_name(0))
         )
@@ -1927,25 +1965,77 @@ class MultiSeriesEngine:
             self.checkpoint()
 
     @classmethod
-    def _recover(cls, store: CheckpointStore, manifest: dict) -> "MultiSeriesEngine":
+    def _recover(
+        cls,
+        store: CheckpointStore,
+        manifest: dict,
+        recovery: str = "strict",
+    ) -> "MultiSeriesEngine":
         """Rebuild an engine from a manifest + segments + WAL tail."""
         source = store.describe()
         manifest = validate_manifest(manifest, source)
+        if recovery == "quarantine" and not hasattr(store, "quarantine_segment"):
+            raise ValueError(
+                "recovery='quarantine' needs a store with quarantine "
+                f"support (a DirectoryCheckpointStore); "
+                f"{type(store).__name__} has none"
+            )
         engine = cls.from_spec(EngineSpec.from_dict(manifest["engine_spec"]))
+        quarantined_cohorts: list[QuarantinedCohort] = []
+        quarantined_keys: set = set()
         for cohort in manifest["cohorts"]:
             cohort_id = int(cohort["id"])
             name = cohort["segment"]
-            states = decode_segment(store.read_segment(name), f"{source}/{name}")
+            # Validate the whole cohort before committing any of it to
+            # the engine: damage discovered on the Nth key must not leave
+            # keys 0..N-1 half-registered (strict recovery re-raises, but
+            # quarantine keeps going with the rest of the store).
+            try:
+                payload = store.read_segment(name)
+                expected_crc = cohort.get("crc")
+                if (
+                    expected_crc is not None
+                    and zlib.crc32(payload) != expected_crc
+                ):
+                    raise CorruptCheckpointError(
+                        f"{source}/{name}: segment bytes fail their "
+                        f"manifest CRC (found {zlib.crc32(payload)}, "
+                        f"manifest says {expected_crc})"
+                    )
+                states = decode_segment(payload, f"{source}/{name}")
+                for key, state in states.items():
+                    if not isinstance(state, _SeriesState):
+                        raise CorruptCheckpointError(
+                            f"{source}/{name}: checkpoint per-series state "
+                            f"is malformed (key {key!r} holds a "
+                            f"{type(state).__name__}, expected engine "
+                            "series state)"
+                        )
+            except CorruptCheckpointError as error:
+                if recovery != "quarantine":
+                    raise
+                keys = decode_manifest_keys(cohort.get("keys"))
+                if keys is None:
+                    # Without the manifest's key list the cohort's WAL
+                    # records cannot be filtered out of replay -- they
+                    # would fabricate partial series holding only
+                    # post-checkpoint points.  That is silent corruption,
+                    # so it refuses rather than degrades.
+                    raise CorruptCheckpointError(
+                        f"{source}/{name}: cannot quarantine this cohort "
+                        "-- the manifest records no key list for it "
+                        "(checkpoint written by an older build?); recover "
+                        "strict from a backup instead"
+                    ) from error
+                store.quarantine_segment(name)
+                quarantined_cohorts.append(
+                    QuarantinedCohort(cohort_id, name, keys, str(error))
+                )
+                quarantined_keys.update(keys)
+                continue
             members = []
             markers = {}
             for key, state in states.items():
-                if not isinstance(state, _SeriesState):
-                    raise CorruptCheckpointError(
-                        f"{source}/{name}: checkpoint per-series state is "
-                        f"malformed (key {key!r} holds a "
-                        f"{type(state).__name__}, expected engine series "
-                        "state)"
-                    )
                 engine._series[key] = state
                 members.append(key)
                 # Progress markers are taken *before* WAL replay, so they
@@ -1956,6 +2046,8 @@ class MultiSeriesEngine:
             engine._cohort_members[cohort_id] = members
             engine._cohort_segments[cohort_id] = name
             engine._cohort_markers[cohort_id] = markers
+            if cohort.get("crc") is not None:
+                engine._cohort_crcs[cohort_id] = int(cohort["crc"])
             for key in members:
                 engine._cohort_of[key] = cohort_id
         engine._next_cohort_id = (
@@ -1980,23 +2072,203 @@ class MultiSeriesEngine:
                 break
             chain.append(successor)
         replayed = 0
+        lost = 0
+        quarantined_wal: list[QuarantinedWalSuffix] = []
+        findings: list = []
+        repaired = False
         try:
-            for name in chain:
-                for payload in store.wal_records(name):
-                    engine._apply_wal_record(
-                        decode_wal_record(payload, f"{source}/{name}")
-                    )
-                    replayed += 1
+            if recovery == "strict" and not quarantined_keys:
+                for name in chain:
+                    for payload in store.wal_records(name):
+                        engine._apply_wal_record(
+                            decode_wal_record(payload, f"{source}/{name}")
+                        )
+                        replayed += 1
+            else:
+                (
+                    replayed,
+                    lost,
+                    quarantined_wal,
+                    findings,
+                    repaired,
+                ) = engine._replay_wal_tolerant(
+                    store, chain, recovery, quarantined_keys, source
+                )
         finally:
             engine._replaying = False
-        # Reopen the chain's tail segment for appending: new records
-        # extend the replayed prefix.  The replayed records still count
-        # toward checkpoint_interval -- they are real un-checkpointed WAL
-        # backlog, and a crash-looping process would otherwise reset the
-        # counter on every restart and never auto-checkpoint.
-        store.wal_start(chain[-1])
-        engine._wal_records_pending = replayed
+        engine.last_recovery = RecoveryReport(
+            policy=recovery,
+            quarantined_cohorts=tuple(quarantined_cohorts),
+            quarantined_wal=tuple(quarantined_wal),
+            wal_records_replayed=replayed,
+            wal_records_lost=lost,
+            findings=tuple(findings),
+        )
+        if quarantined_cohorts or repaired:
+            # The store references artifacts that were moved aside (or a
+            # WAL remainder that must not be extended): re-checkpoint the
+            # surviving state immediately so the manifest, segments and a
+            # fresh WAL are consistent again before the session serves
+            # anything.
+            engine.checkpoint()
+        else:
+            # Reopen the chain's tail segment for appending: new records
+            # extend the replayed prefix.  The replayed records still
+            # count toward checkpoint_interval -- they are real
+            # un-checkpointed WAL backlog, and a crash-looping process
+            # would otherwise reset the counter on every restart and
+            # never auto-checkpoint.
+            store.wal_start(chain[-1])
+            engine._wal_records_pending = replayed
         return engine
+
+    def _replay_wal_tolerant(
+        self,
+        store: CheckpointStore,
+        chain: list,
+        recovery: str,
+        skip_keys: set,
+        source: str,
+    ) -> tuple:
+        """Replay a WAL chain under ``truncate``/``quarantine`` policy.
+
+        Returns ``(replayed, lost, quarantined_wal, findings, repaired)``.
+        Replay stops at the first unreadable point -- a frame that fails
+        its CRC (trailing bytes) or decodes to garbage -- because records
+        after a gap would replay into a stream missing its middle.  Under
+        ``quarantine`` the unread remainder is preserved in the store's
+        quarantine directory; under ``truncate`` it is simply dropped
+        (the immediate re-checkpoint prunes it).  A torn tail on the
+        *final* chain segment is ordinary crash debris, repaired exactly
+        as strict recovery does, not treated as corruption.
+        """
+        replayed = 0
+        lost = 0
+        quarantined: list[QuarantinedWalSuffix] = []
+        findings: list = []
+        stop: tuple | None = None
+        for position, name in enumerate(chain):
+            final = position == len(chain) - 1
+            offset = 0
+            segment_replayed = 0
+            for payload, end in store.wal_frames(name):
+                try:
+                    record = decode_wal_record(payload, f"{source}/{name}")
+                except CorruptCheckpointError as error:
+                    stop = (position, offset, str(error))
+                    break
+                filtered = self._filter_wal_record(record, skip_keys)
+                if filtered is not None:
+                    self._apply_wal_record(filtered)
+                replayed += 1
+                segment_replayed += 1
+                offset = end
+            if stop is not None:
+                frames_total, _good, _total = store.wal_tail(name)
+                lost += max(0, frames_total - segment_replayed)
+                break
+            if not store.wal_exists(name):
+                continue
+            _frames, good, total = store.wal_tail(name)
+            if good < total and not final:
+                stop = (
+                    position,
+                    good,
+                    f"{total - good} unreadable bytes mid-chain (offset "
+                    f"{good}); records beyond them are unreachable",
+                )
+                break
+        if stop is None:
+            return replayed, lost, quarantined, findings, False
+        position, offset, reason = stop
+        name = chain[position]
+        remainder = chain[position + 1 :]
+        if recovery == "quarantine":
+            dropped = store.quarantine_wal_suffix(name, offset)
+            quarantined.append(
+                QuarantinedWalSuffix(name, offset, dropped, reason)
+            )
+            for later in remainder:
+                if not store.wal_exists(later):
+                    continue
+                frames_total, _good, total = store.wal_tail(later)
+                lost += frames_total
+                store.quarantine_wal_segment(later)
+                quarantined.append(
+                    QuarantinedWalSuffix(
+                        later,
+                        0,
+                        total,
+                        "follows a damaged chain segment",
+                    )
+                )
+        else:  # truncate: drop without preserving
+            findings.append(
+                ScrubFinding(name, "truncated", reason, fatal=False)
+            )
+            for later in remainder:
+                if not store.wal_exists(later):
+                    continue
+                frames_total, _good, _total = store.wal_tail(later)
+                lost += frames_total
+                findings.append(
+                    ScrubFinding(
+                        later,
+                        "truncated",
+                        "follows a damaged chain segment",
+                        fatal=False,
+                    )
+                )
+        return replayed, lost, quarantined, findings, True
+
+    @staticmethod
+    def _filter_wal_record(record: tuple, skip_keys: set) -> tuple | None:
+        """Drop quarantined keys from a WAL record (``None``: drop it all).
+
+        A record naming a quarantined series must not replay for that
+        key: its checkpointed base state is gone, so replay would
+        fabricate a partial series holding only post-checkpoint points.
+        """
+        if not skip_keys:
+            return record
+        kind = record[0]
+        if kind == "grid":
+            round_keys, grid = record[1], record[2]
+            keep = [
+                index
+                for index, key in enumerate(round_keys)
+                if key not in skip_keys
+            ]
+            if len(keep) == len(round_keys):
+                return record
+            if not keep:
+                return None
+            return (
+                "grid",
+                [round_keys[index] for index in keep],
+                grid[:, keep],
+            )
+        if kind == "rows":
+            keys, values = record[1], record[2]
+            keep = [
+                index for index, key in enumerate(keys) if key not in skip_keys
+            ]
+            if len(keep) == len(keys):
+                return record
+            if not keep:
+                return None
+            return ("rows", [keys[index] for index in keep], values[keep])
+        if kind == "raw_rows":
+            rows = record[1]
+            kept = [row for row in rows if row[0] not in skip_keys]
+            if len(kept) == len(rows):
+                return record
+            if not kept:
+                return None
+            return ("raw_rows", kept)
+        if kind == "point":
+            return None if record[1] in skip_keys else record
+        return record
 
     def _apply_wal_record(self, record: tuple) -> None:
         """Re-apply one logged batch during recovery.
@@ -2180,23 +2452,39 @@ class MultiSeriesEngine:
         ]
         series_written = 0
         new_markers: dict[int, dict] = {}
+        crcs = dict(self._cohort_crcs)
         for cohort_id in dirty:
             name = segment_name(generation, cohort_id)
             states = self._export_cohort(cohort_id)
-            store.write_segment(name, encode_segment(states))
+            payload = encode_segment(states)
+            store.write_segment(name, payload)
             segments[cohort_id] = name
+            crcs[cohort_id] = zlib.crc32(payload)
             series_written += len(states)
             new_markers[cohort_id] = {
                 key: self._series_marker(key) for key in states
             }
-        cohorts = [
-            {
+        cohorts = []
+        for cohort_id in sorted(self._cohort_members):
+            entry: dict = {
                 "id": cohort_id,
                 "segment": segments[cohort_id],
                 "series": len(self._cohort_members[cohort_id]),
             }
-            for cohort_id in sorted(self._cohort_members)
-        ]
+            # Scrub/quarantine metadata: the segment payload's CRC32 (so
+            # store.verify() can check bytes it cannot decode) and the
+            # cohort's key list (so quarantine can name the affected
+            # series without decoding the damaged segment).  Keys outside
+            # the JSON-encodable family leave the list off -- visible as
+            # "keys unknown", never wrong.
+            if cohort_id in crcs:
+                entry["crc"] = crcs[cohort_id]
+            encoded_keys = encode_manifest_keys(
+                self._cohort_members[cohort_id]
+            )
+            if encoded_keys is not None:
+                entry["keys"] = encoded_keys
+            cohorts.append(entry)
         store.write_manifest(
             build_manifest(
                 generation, self.spec.to_dict(), cohorts, wal_name(generation)
@@ -2205,6 +2493,7 @@ class MultiSeriesEngine:
         # -- the manifest rename above is the commit point ------------------
         self._generation = generation
         self._cohort_segments = segments
+        self._cohort_crcs = crcs
         self._cohort_markers.update(new_markers)
         store.wal_start(wal_name(generation))
         self._wal_records_pending = 0

@@ -1,0 +1,830 @@
+"""Fault-injection, supervision and corruption-quarantine tests.
+
+Three tiers of evidence:
+
+* process-free units of the fault vocabulary itself --
+  :class:`RetryPolicy` schedules and :class:`FaultPlan` counter windows
+  must be deterministic, because every oracle below leans on "the same
+  fault fires at the same operation every run";
+* store-level corruption tests: ``store.verify()`` against
+  hand-corrupted bytes, and ``MultiSeriesEngine.open`` under the
+  ``strict | truncate | quarantine`` recovery policies -- quarantine
+  must name exactly the cohort keys it dropped and serve the rest;
+* cross-process supervision tests: a parametrized {boundary x injector}
+  fault matrix against an uninterrupted twin engine (the survived
+  verdict and the recovered stream must both match what the boundary
+  implies), transient-error retry that never double-applies, the hang
+  watchdog, the circuit breaker, and ``allow_partial`` degraded mode.
+
+Fleets stay tiny (1-2 shards, periods of 8) so the module fits tier-1
+time budgets; hang cases use a short ``request_timeout`` so the
+watchdog, not the sleep, sets the pace.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.durability import CorruptCheckpointError, DirectoryCheckpointStore
+from repro.durability.scrub import decode_manifest_keys
+from repro.faults import (
+    WORKER_RECV,
+    WORKER_REPLY,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.sharding import (
+    ClusterSpec,
+    ConsistentHashRing,
+    DegradedResult,
+    ShardDownError,
+    ShardFailoverError,
+    ShardRouter,
+    ShardingError,
+    WorkerCrashError,
+)
+from repro.specs import EngineSpec
+from repro.streaming import MultiSeriesEngine
+
+from tests.conftest import make_seasonal_series
+from tests.test_sharding import assert_results_identical
+
+PERIOD = 8
+INIT = 2 * PERIOD
+LENGTH = PERIOD * 9
+
+
+def engine_spec() -> EngineSpec:
+    return MultiSeriesEngine.for_oneshotstl(
+        PERIOD, initialization_length=INIT, shift_window=0
+    ).spec
+
+
+def fleet_data(n_series: int, length: int = LENGTH) -> dict:
+    return {
+        f"series-{index:03d}": make_seasonal_series(
+            length, PERIOD, seed=700 + index
+        )["values"]
+        for index in range(n_series)
+    }
+
+
+def slice_batch(data: dict, start: int, stop: int) -> dict:
+    return {key: values[start:stop] for key, values in data.items()}
+
+
+def victim_shard(cluster: ClusterSpec, data: dict) -> str:
+    return ConsistentHashRing(
+        [shard.shard_id for shard in cluster.shards]
+    ).shard_for(next(iter(data)))
+
+
+# --------------------------------------------------------------------------
+# RetryPolicy (no processes)
+# --------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_default_schedule(self):
+        assert list(RetryPolicy().delays()) == [0.05, 0.2]
+
+    def test_schedule_is_capped(self):
+        policy = RetryPolicy(
+            attempts=5, base_delay=0.1, multiplier=10.0, max_delay=1.5
+        )
+        assert list(policy.delays()) == [0.1, 1.0, 1.5, 1.5]
+
+    def test_call_succeeds_after_transient_failures(self):
+        pauses: list = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "done"
+
+        result = RetryPolicy().call(flaky, sleep=pauses.append)
+        assert result == "done"
+        assert calls["n"] == 3
+        assert pauses == [0.05, 0.2]
+
+    def test_call_exhausts_and_reraises(self):
+        pauses: list = []
+
+        def always_fails():
+            raise OSError("still broken")
+
+        with pytest.raises(OSError, match="still broken"):
+            RetryPolicy().call(always_fails, sleep=pauses.append)
+        assert pauses == [0.05, 0.2]  # three attempts, two sleeps
+
+    def test_non_transient_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def wrong_value():
+            calls["n"] += 1
+            raise ValueError("not retryable")
+
+        with pytest.raises(ValueError):
+            RetryPolicy().call(wrong_value, sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="attempts"):
+            RetryPolicy(attempts=0)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="delays"):
+            RetryPolicy(base_delay=-1.0)
+
+
+# --------------------------------------------------------------------------
+# FaultPlan (no processes)
+# --------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_counter_window_after_and_times(self):
+        plan = FaultPlan(
+            [FaultInjector(point="p", action="drop", after=2, times=2)]
+        )
+        assert [plan.fire("p") for _ in range(5)] == [
+            None,
+            "drop",
+            "drop",
+            None,
+            None,
+        ]
+
+    def test_counters_are_per_point(self):
+        plan = FaultPlan([FaultInjector(point="a", action="drop")])
+        assert plan.fire("b") is None  # unrelated point, no effect
+        assert plan.fire("a") == "drop"
+
+    def test_times_zero_fires_forever(self):
+        plan = FaultPlan(
+            [FaultInjector(point="p", action="drop", after=1, times=0)]
+        )
+        assert all(plan.fire("p") == "drop" for _ in range(10))
+
+    def test_raise_action_carries_errno(self):
+        import errno
+
+        plan = FaultPlan([FaultInjector(point="p", action="raise")])
+        with pytest.raises(OSError) as error:
+            plan.fire("p")
+        assert error.value.errno == errno.ENOSPC
+
+    def test_survivors_keeps_only_persistent_injectors(self):
+        one_shot = FaultInjector(point="p", action="sigkill")
+        sticky = FaultInjector(point="p", action="sigkill", persist=True)
+        survivors = FaultPlan([one_shot, sticky]).survivors()
+        assert survivors.injectors == (sticky,)
+        assert not FaultPlan([one_shot]).survivors()
+
+    def test_dict_round_trip_and_coerce(self):
+        injector = FaultInjector(
+            point="wal.append.before", action="hang", duration=1.5, after=3
+        )
+        plan = FaultPlan([injector])
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.injectors == plan.injectors
+        assert FaultPlan.coerce(plan) is plan
+        assert FaultPlan.coerce([injector]).injectors == (injector,)
+        assert FaultPlan.coerce(plan.to_dict()).injectors == (injector,)
+
+    def test_validation_rejects_unknowns(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultInjector(point="p", action="meteor")
+        with pytest.raises(ValueError, match="after"):
+            FaultInjector(point="p", action="drop", after=0)
+        with pytest.raises(ValueError, match="unknown FaultInjector fields"):
+            FaultInjector.from_dict({"point": "p", "action": "drop", "x": 1})
+        with pytest.raises(ValueError, match="bit_flip target"):
+            FaultInjector(point="p", action="bit_flip", target="ram")
+
+    def test_bit_flip_flips_exactly_one_bit(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path)
+        payload = bytes(range(64))
+        store.write_segment("seg-000", payload)
+        plan = FaultPlan(
+            [FaultInjector(point="p", action="bit_flip", target="segment")]
+        )
+        plan.install(store)
+        plan.fire("p")
+        flipped = store.read_segment("seg-000")
+        deltas = [
+            index
+            for index, (a, b) in enumerate(zip(payload, flipped))
+            if a != b
+        ]
+        assert deltas == [len(payload) // 2]
+        assert payload[deltas[0]] ^ flipped[deltas[0]] == 0x01
+
+
+# --------------------------------------------------------------------------
+# store scrub + recovery policies (no processes)
+# --------------------------------------------------------------------------
+
+
+def populate_store(
+    path,
+    n_series: int = 8,
+    cohort_size: int | None = None,
+    wal_batches: int = 2,
+    wal_segment_bytes: int | None = None,
+) -> dict:
+    """Build a store with a committed checkpoint plus a live WAL tail."""
+    data = fleet_data(n_series)
+    store_kwargs = {}
+    if wal_segment_bytes is not None:
+        store_kwargs["wal_segment_bytes"] = wal_segment_bytes
+    store = DirectoryCheckpointStore(path, **store_kwargs)
+    engine = MultiSeriesEngine.open(store, spec=engine_spec())
+    if cohort_size is not None:
+        engine.checkpoint_cohort_size = cohort_size
+    cut = PERIOD * 5
+    engine.ingest_columnar(slice_batch(data, 0, cut))
+    engine.checkpoint()
+    step = (LENGTH - cut) // wal_batches
+    for index in range(wal_batches):
+        engine.ingest_columnar(
+            slice_batch(data, cut + index * step, cut + (index + 1) * step)
+        )
+    engine.close(checkpoint=False)
+    return data
+
+
+def read_manifest_json(path) -> dict:
+    return json.loads((path / "MANIFEST.json").read_text())
+
+
+def flip_byte(path, offset: int | None = None) -> None:
+    raw = bytearray(path.read_bytes())
+    position = len(raw) // 2 if offset is None else offset
+    raw[position] ^= 0x01
+    path.write_bytes(bytes(raw))
+
+
+class TestStoreVerify:
+    def test_clean_store_verifies_ok(self, tmp_path):
+        populate_store(tmp_path)
+        report = DirectoryCheckpointStore(tmp_path).verify()
+        assert report.ok
+        assert report.findings == ()
+        assert report.segments_checked > 0
+        assert report.wal_frames_checked > 0
+        assert "ok" in str(report)
+
+    def test_segment_bit_flip_is_a_fatal_crc_finding(self, tmp_path):
+        populate_store(tmp_path)
+        manifest = read_manifest_json(tmp_path)
+        segment = manifest["cohorts"][0]["segment"]
+        flip_byte(tmp_path / "segments" / segment)
+        report = DirectoryCheckpointStore(tmp_path).verify()
+        assert not report.ok
+        problems = {
+            finding.artifact: finding.problem for finding in report.findings
+        }
+        assert problems[segment] == "crc_mismatch"
+        assert "CORRUPT" in str(report)
+
+    def test_missing_segment_is_fatal(self, tmp_path):
+        populate_store(tmp_path)
+        segment = read_manifest_json(tmp_path)["cohorts"][0]["segment"]
+        (tmp_path / "segments" / segment).unlink()
+        report = DirectoryCheckpointStore(tmp_path).verify()
+        assert not report.ok
+        assert any(
+            finding.problem == "missing" and finding.artifact == segment
+            for finding in report.findings
+        )
+
+    def test_invalid_manifest_is_fatal(self, tmp_path):
+        populate_store(tmp_path)
+        (tmp_path / "MANIFEST.json").write_text("{this is not json")
+        report = DirectoryCheckpointStore(tmp_path).verify()
+        assert not report.ok
+        assert report.findings[0].artifact == "manifest"
+
+    def test_torn_wal_tail_is_a_nonfatal_note(self, tmp_path):
+        populate_store(tmp_path)
+        store = DirectoryCheckpointStore(tmp_path)
+        last_wal = store.list_wals()[-1]
+        with open(tmp_path / "wal" / last_wal, "ab") as handle:
+            handle.write(b"\x07\x07\x07")  # a crash mid-append
+        report = DirectoryCheckpointStore(tmp_path).verify()
+        assert report.ok  # strict recovery would still succeed
+        notes = [f for f in report.findings if not f.fatal]
+        assert [note.problem for note in notes] == ["torn_tail"]
+        assert notes[0].artifact == last_wal
+
+
+class TestRecoveryPolicies:
+    def test_open_rejects_unknown_policy(self, tmp_path):
+        store = DirectoryCheckpointStore(tmp_path)
+        with pytest.raises(ValueError, match="recovery"):
+            MultiSeriesEngine.open(
+                store, spec=engine_spec(), recovery="optimistic"
+            )
+
+    def test_strict_raises_on_a_corrupt_segment(self, tmp_path):
+        populate_store(tmp_path)
+        segment = read_manifest_json(tmp_path)["cohorts"][0]["segment"]
+        flip_byte(tmp_path / "segments" / segment)
+        with pytest.raises(CorruptCheckpointError):
+            MultiSeriesEngine.open(
+                DirectoryCheckpointStore(tmp_path),
+                spec=engine_spec(),
+                recovery="strict",
+            )
+
+    def test_quarantine_names_cohort_keys_and_serves_the_rest(self, tmp_path):
+        data = populate_store(tmp_path, n_series=8, cohort_size=4)
+        manifest = read_manifest_json(tmp_path)
+        assert len(manifest["cohorts"]) == 2  # cohort_size split the fleet
+        bad = manifest["cohorts"][0]
+        bad_keys = decode_manifest_keys(bad["keys"])
+        flip_byte(tmp_path / "segments" / bad["segment"])
+
+        store = DirectoryCheckpointStore(tmp_path)
+        engine = MultiSeriesEngine.open(
+            store, spec=engine_spec(), recovery="quarantine"
+        )
+        report = engine.last_recovery
+        assert report is not None and not report.clean
+        assert len(report.quarantined_cohorts) == 1
+        assert set(report.quarantined_cohorts[0].keys) == set(bad_keys)
+        assert set(report.affected_keys) == set(bad_keys)
+
+        survivors = set(data) - set(bad_keys)
+        assert set(engine.keys()) == survivors
+        # The WAL tail replayed for the survivors only -- each surviving
+        # series carries its full history, bit-identically.
+        reference = MultiSeriesEngine.from_spec(engine_spec())
+        reference.ingest_columnar(data)
+        assert engine.fleet_stats().points_total == len(survivors) * LENGTH
+        probe = sorted(survivors)[0]
+        assert np.array_equal(
+            engine.forecast(probe, PERIOD), reference.forecast(probe, PERIOD)
+        )
+        # The evidence moved aside; the re-checkpointed store scrubs clean.
+        assert bad["segment"] in store.list_quarantined()
+        assert store.verify().ok
+        # The round trip survives: a later strict open sees a clean store.
+        engine.close(checkpoint=True)
+        again = MultiSeriesEngine.open(
+            DirectoryCheckpointStore(tmp_path),
+            spec=engine_spec(),
+            recovery="strict",
+        )
+        assert set(again.keys()) == survivors
+        again.close(checkpoint=False)
+
+    def test_quarantine_without_a_key_list_refuses(self, tmp_path):
+        populate_store(tmp_path)
+        manifest = read_manifest_json(tmp_path)
+        segment = manifest["cohorts"][0]["segment"]
+        del manifest["cohorts"][0]["keys"]
+        (tmp_path / "MANIFEST.json").write_text(json.dumps(manifest))
+        flip_byte(tmp_path / "segments" / segment)
+        # Without the manifest's key list the WAL cannot be filtered, and
+        # replaying it would fabricate partial series -- refuse loudly.
+        with pytest.raises(CorruptCheckpointError, match="no key list"):
+            MultiSeriesEngine.open(
+                DirectoryCheckpointStore(tmp_path),
+                spec=engine_spec(),
+                recovery="quarantine",
+            )
+
+    def _corrupt_mid_chain(self, tmp_path):
+        """Populate a multi-segment WAL chain and damage a middle segment.
+
+        Returns ``(damaged_name, frames_by_segment)`` where the frame map
+        was taken *before* the corruption.
+        """
+        populate_store(
+            tmp_path, wal_batches=3, wal_segment_bytes=1
+        )  # 1-byte cap: every append rotates -> one record per segment
+        store = DirectoryCheckpointStore(tmp_path)
+        frames = {
+            name: list(store.wal_frames(name)) for name in store.list_wals()
+        }
+        chain = [name for name in sorted(frames) if frames[name]]
+        assert len(chain) >= 3
+        damaged = chain[1]
+        first_end = frames[damaged][0][1]
+        # Flip a payload byte of the segment's first frame: its CRC fails,
+        # so the whole segment (and everything after it) is unreadable.
+        flip_byte(tmp_path / "wal" / damaged, offset=first_end - 2)
+        return damaged, frames, chain
+
+    def test_quarantine_preserves_a_damaged_wal_suffix(self, tmp_path):
+        damaged, frames, chain = self._corrupt_mid_chain(tmp_path)
+        store = DirectoryCheckpointStore(tmp_path)
+        engine = MultiSeriesEngine.open(
+            store, spec=engine_spec(), recovery="quarantine"
+        )
+        report = engine.last_recovery
+        assert report is not None
+        before = sum(len(frames[name]) for name in chain[: chain.index(damaged)])
+        after = sum(
+            len(frames[name]) for name in chain[chain.index(damaged) + 1 :]
+        )
+        assert report.wal_records_replayed == before
+        assert report.wal_records_lost >= after
+        assert report.quarantined_wal[0].segment == damaged
+        assert report.quarantined_wal[0].from_offset == 0
+        # Damaged bytes and unreachable later segments are all preserved.
+        quarantined = store.list_quarantined()
+        assert any(name.startswith(damaged) for name in quarantined)
+        for later in chain[chain.index(damaged) + 1 :]:
+            assert later in quarantined
+        assert store.verify().ok  # the recovery re-checkpointed
+        engine.close(checkpoint=False)
+
+    def test_truncate_drops_the_suffix_without_preserving(self, tmp_path):
+        damaged, frames, chain = self._corrupt_mid_chain(tmp_path)
+        store = DirectoryCheckpointStore(tmp_path)
+        engine = MultiSeriesEngine.open(
+            store, spec=engine_spec(), recovery="truncate"
+        )
+        report = engine.last_recovery
+        assert report is not None
+        assert report.quarantined_wal == ()
+        assert any(
+            finding.problem == "truncated" and finding.artifact == damaged
+            for finding in report.findings
+        )
+        assert store.list_quarantined() == []
+        assert store.verify().ok
+        engine.close(checkpoint=False)
+
+
+# --------------------------------------------------------------------------
+# cross-process supervision
+# --------------------------------------------------------------------------
+
+
+class TestRouterSupervision:
+    def test_health_on_a_healthy_cluster(self, tmp_path):
+        data = fleet_data(8, length=PERIOD * 2)
+        cluster = ClusterSpec.for_root(engine_spec(), tmp_path, 2)
+        with ShardRouter(cluster) as router:
+            router.ingest(data)
+            health = router.health()
+            assert sorted(health) == router.shard_ids
+            for shard in health.values():
+                assert shard.state == "up"
+                assert isinstance(shard.pid, int)
+                assert shard.restarts == 0
+                assert shard.consecutive_failures == 0
+                assert shard.last_error is None
+                assert shard.quarantined_keys == ()
+            total = sum(s.points_confirmed for s in health.values())
+            assert total == 8 * PERIOD * 2
+            assert router.stats(allow_partial=True).down_shards == ()
+
+    def test_transient_errors_retry_in_place(self, tmp_path):
+        """Two injected ENOSPC replies, then success -- same worker, and
+        the retried batch is bit-identical to the uninterrupted twin."""
+        data = fleet_data(8, length=PERIOD * 4)
+        reference = MultiSeriesEngine.from_spec(engine_spec())
+        cluster = ClusterSpec.for_root(engine_spec(), tmp_path, 2)
+        victim = victim_shard(cluster, data)
+        router = ShardRouter(
+            cluster,
+            retry=RetryPolicy(attempts=3, base_delay=0.01),
+            fault_plans={
+                victim: [
+                    FaultInjector(
+                        point="wal.append.before",
+                        action="raise",
+                        after=2,
+                        times=2,
+                    )
+                ]
+            },
+        )
+        try:
+            pid_before = router.health()[victim].pid
+            first = slice_batch(data, 0, PERIOD * 2)
+            second = slice_batch(data, PERIOD * 2, PERIOD * 4)
+            assert_results_identical(
+                router.ingest(first), reference.ingest_columnar(first), "warm"
+            )
+            # Appends 2 and 3 fail with ENOSPC; the second retry succeeds.
+            assert_results_identical(
+                router.ingest(second),
+                reference.ingest_columnar(second),
+                "retried batch",
+            )
+            health = router.health()[victim]
+            assert health.pid == pid_before  # never died, never failed over
+            assert health.restarts == 0
+            assert health.state == "up"
+            assert (
+                router.stats().points_total
+                == reference.fleet_stats().points_total
+            )
+        finally:
+            router.close(checkpoint=False)
+
+    def test_torn_append_retries_without_double_apply(self, tmp_path):
+        """A torn WAL write is retried behind a checkpoint that discards
+        the ambiguous half-frame -- totals stay exact."""
+        data = fleet_data(8, length=PERIOD * 4)
+        reference = MultiSeriesEngine.from_spec(engine_spec())
+        cluster = ClusterSpec.for_root(engine_spec(), tmp_path, 2)
+        victim = victim_shard(cluster, data)
+        router = ShardRouter(
+            cluster,
+            retry=RetryPolicy(attempts=3, base_delay=0.01),
+            fault_plans={
+                victim: [
+                    FaultInjector(
+                        point="wal.append.torn", action="torn", after=2
+                    )
+                ]
+            },
+        )
+        try:
+            for start in range(0, PERIOD * 4, PERIOD * 2):
+                batch = slice_batch(data, start, start + PERIOD * 2)
+                assert_results_identical(
+                    router.ingest(batch),
+                    reference.ingest_columnar(batch),
+                    f"batch@{start}",
+                )
+            assert router.health()[victim].restarts == 0
+            assert (
+                router.stats().points_total
+                == reference.fleet_stats().points_total
+            )
+        finally:
+            router.close(checkpoint=False)
+
+    def test_retry_disabled_surfaces_the_transient_error(self, tmp_path):
+        data = fleet_data(6, length=PERIOD * 2)
+        cluster = ClusterSpec.for_root(engine_spec(), tmp_path, 2)
+        victim = victim_shard(cluster, data)
+        router = ShardRouter(
+            cluster,
+            retry=None,
+            fault_plans={
+                victim: [
+                    FaultInjector(point="wal.append.before", action="raise")
+                ]
+            },
+        )
+        try:
+            with pytest.raises(ShardingError, match="retry disabled"):
+                router.ingest(data)
+        finally:
+            router.close(checkpoint=False)
+
+    WARM_BATCHES = 3
+
+    @pytest.mark.parametrize(
+        ("point", "action", "expect_survived", "expect_cause"),
+        [
+            ("wal.append.before", "sigkill", False, "crash"),
+            ("wal.append.after", "sigkill", True, "crash"),
+            (WORKER_RECV, "sigkill", False, "crash"),
+            (WORKER_REPLY, "sigkill", True, "crash"),
+            (WORKER_RECV, "hang", False, "hang"),
+            (WORKER_REPLY, "hang", True, "hang"),
+            (WORKER_RECV, "drop", False, "hang"),
+            (WORKER_REPLY, "drop", True, "hang"),
+        ],
+    )
+    def test_fault_matrix_against_uninterrupted_twin(
+        self, tmp_path, point, action, expect_survived, expect_cause
+    ):
+        """{boundary x injector}: the survived verdict, the failure cause
+        and the recovered stream must all match what the boundary implies.
+        A drop (lost confirmation) and a hang both surface through the
+        watchdog; state survival depends only on whether the boundary
+        sits before or after the WAL append."""
+        data = fleet_data(12)
+        reference = MultiSeriesEngine.from_spec(engine_spec())
+        cluster = ClusterSpec.for_root(engine_spec(), tmp_path, 2)
+        victim = victim_shard(cluster, data)
+        router = ShardRouter(
+            cluster,
+            request_timeout=2.0,  # the watchdog deadline for hang/drop
+            fault_plans={
+                victim: [
+                    FaultInjector(
+                        point=point,
+                        action=action,
+                        after=self.WARM_BATCHES + 1,
+                        duration=45.0,
+                    )
+                ]
+            },
+        )
+        try:
+            step = PERIOD * 2
+            for index in range(self.WARM_BATCHES):
+                batch = slice_batch(data, index * step, (index + 1) * step)
+                router.ingest(batch)
+                reference.ingest_columnar(batch)
+
+            tail = slice_batch(data, self.WARM_BATCHES * step, LENGTH)
+            with pytest.raises(ShardFailoverError) as error:
+                router.ingest(tail)
+            assert error.value.shard_id == victim
+            assert error.value.batch_survived is expect_survived
+            assert error.value.cause == expect_cause
+
+            reference.ingest_columnar(tail)
+            if not expect_survived:
+                router.ingest(
+                    {
+                        key: values
+                        for key, values in tail.items()
+                        if router.shard_of(key) == victim
+                    }
+                )
+            health = router.health()[victim]
+            assert health.restarts == 1
+            assert health.last_failure_cause == expect_cause
+            stats = router.stats()
+            fleet = reference.fleet_stats()
+            assert stats.points_total == fleet.points_total
+            assert stats.anomalies_total == fleet.anomalies_total
+            victim_key = next(
+                key for key in data if router.shard_of(key) == victim
+            )
+            survivor_key = next(
+                key for key in data if router.shard_of(key) != victim
+            )
+            for key in (victim_key, survivor_key):
+                assert np.array_equal(
+                    router.forecast(key, PERIOD),
+                    reference.forecast(key, PERIOD),
+                ), f"{point}/{action}: forecast diverged for {key!r}"
+        finally:
+            router.close(checkpoint=False)
+
+    def test_allow_partial_reports_the_failed_shards_keys(self, tmp_path):
+        """Degraded ingest: a mid-batch death does not raise; the result
+        names exactly the victim's keys and whether their state survived."""
+        data = fleet_data(12)
+        reference = MultiSeriesEngine.from_spec(engine_spec())
+        cluster = ClusterSpec.for_root(engine_spec(), tmp_path, 2)
+        victim = victim_shard(cluster, data)
+        router = ShardRouter(
+            cluster,
+            fault_plans={
+                victim: [
+                    FaultInjector(point="wal.append.after", action="sigkill")
+                ]
+            },
+        )
+        try:
+            degraded = router.ingest(data, allow_partial=True)
+            assert isinstance(degraded, DegradedResult)
+            assert not degraded.complete
+            assert degraded.down_shards == ()
+            assert degraded.failovers == {victim: True}
+            assert set(degraded.skipped_keys) == {
+                key for key in data if router.shard_of(key) == victim
+            }
+            # Surviving shards' slices are in the combined result.
+            expected = reference.ingest_columnar(data)
+            for key in data:
+                if key in set(degraded.skipped_keys):
+                    continue
+                column = list(data).index(key)
+                ours = degraded.result.value.reshape(LENGTH, len(data))
+                theirs = expected.value.reshape(LENGTH, len(data))
+                assert np.array_equal(
+                    ours[:, column], theirs[:, column], equal_nan=True
+                )
+            # The victim's state survived into the WAL: no re-send, and
+            # the fleet totals already agree with the twin.
+            assert (
+                router.stats().points_total
+                == reference.fleet_stats().points_total
+            )
+        finally:
+            router.close(checkpoint=False)
+
+    def test_circuit_breaker_trips_and_manual_failover_resets(self, tmp_path):
+        """A persistent crash loop exhausts the failover budget, marks the
+        shard down, serves degraded -- and one operator failover (with the
+        fault gone) brings everything back."""
+        data = fleet_data(4, length=PERIOD * 2)
+        cluster = ClusterSpec.for_root(engine_spec(), tmp_path, 1)
+        (shard_id,) = [shard.shard_id for shard in cluster.shards]
+        router = ShardRouter(
+            cluster,
+            circuit_threshold=2,
+            fault_plans={
+                shard_id: [
+                    FaultInjector(
+                        point="wal.append.before",
+                        action="sigkill",
+                        times=0,
+                        persist=True,  # the replacement dies the same way
+                    )
+                ]
+            },
+        )
+        try:
+            with pytest.raises(ShardFailoverError) as first:
+                router.ingest(data)
+            assert first.value.batch_survived is False
+
+            with pytest.raises(ShardDownError) as second:
+                router.ingest(data)
+            assert second.value.shard_id == shard_id
+            assert set(second.value.skipped_keys) == set(data)
+
+            health = router.health()[shard_id]
+            assert health.state == "down"
+            assert health.pid is None
+            assert health.restarts == 1  # the one failover before the trip
+
+            # Degraded mode serves around the hole and names it.
+            degraded = router.ingest(data, allow_partial=True)
+            assert isinstance(degraded, DegradedResult)
+            assert degraded.down_shards == (shard_id,)
+            assert set(degraded.skipped_keys) == set(data)
+            partial = router.stats(allow_partial=True)
+            assert partial.down_shards == (shard_id,)
+            assert partial.series_total == 0
+            assert router.keys(allow_partial=True)[shard_id] is None
+            with pytest.raises(ShardDownError):
+                router.stats()
+
+            # Operator failover clears the breaker AND the armed fault.
+            report = router.failover(shard_id)
+            assert report.shard_id == shard_id
+            health = router.health()[shard_id]
+            assert health.state == "up"
+            assert health.restarts == 2
+            router.ingest(data)
+            assert router.stats().points_total == 4 * PERIOD * 2
+        finally:
+            router.close(checkpoint=False)
+
+    def test_unexpected_worker_error_is_a_reply_not_a_death(self, tmp_path):
+        """Satellite fix: an unexpected exception inside the worker loop
+        must reply ``error`` (kind, message, traceback) and keep serving,
+        not kill the worker and burn a request timeout."""
+        data = fleet_data(4, length=PERIOD * 2)
+        cluster = ClusterSpec.for_root(engine_spec(), tmp_path, 1)
+        (shard_id,) = [shard.shard_id for shard in cluster.shards]
+        with ShardRouter(cluster) as router:
+            worker = router._workers[shard_id]
+            with pytest.raises(ValueError, match="unknown worker command"):
+                router._request(worker, "definitely-not-a-command", None)
+            # Same worker, still serving; the error cost no failover.
+            router.ingest(data)
+            health = router.health()[shard_id]
+            assert health.restarts == 0
+            assert health.consecutive_failures == 0
+            assert router.stats().points_total == 4 * PERIOD * 2
+
+    def test_router_surfaces_quarantined_keys_in_health(self, tmp_path):
+        """A corrupted shard store comes up degraded under the router's
+        default ``quarantine`` policy -- health names the lost keys --
+        while ``recovery='strict'`` refuses to start at all."""
+        data = fleet_data(8, length=PERIOD * 4)
+        cluster = ClusterSpec.for_root(engine_spec(), tmp_path, 2)
+        with ShardRouter(cluster) as router:
+            router.ingest(data)
+        # Corrupt one cohort segment of the first shard that holds any.
+        victim_root = next(
+            shard
+            for shard in cluster.shards
+            if read_manifest_json(tmp_path / shard.shard_id)["cohorts"]
+        )
+        manifest = read_manifest_json(tmp_path / victim_root.shard_id)
+        bad = manifest["cohorts"][0]
+        bad_keys = set(decode_manifest_keys(bad["keys"]))
+        flip_byte(
+            tmp_path / victim_root.shard_id / "segments" / bad["segment"]
+        )
+
+        with pytest.raises(WorkerCrashError):
+            ShardRouter(cluster, recovery="strict", spawn_timeout=60.0)
+
+        with ShardRouter(cluster) as router:  # default: quarantine
+            health = router.health()[victim_root.shard_id]
+            assert health.state == "degraded"
+            assert set(health.quarantined_keys) == bad_keys
+            stats = router.stats()
+            assert stats.series_total == len(data) - len(bad_keys)
+            surviving = {
+                key
+                for keys in router.keys().values()
+                for key in keys
+            }
+            assert surviving == set(data) - bad_keys
