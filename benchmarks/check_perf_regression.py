@@ -25,11 +25,15 @@ checkpoint of the 1000-series fleet with one dirty cohort stays at least
 5x faster than a full snapshot, and that the sharded tier (the 10k-series
 fleet fanned out across 4 worker processes) keeps its aggregate
 throughput at or above the single-process 1000-series columnar ingest of
-the same run -- with a failover recovery latency actually measured
-(thresholds are imported from the bench module so the two CI steps
-enforce one policy)::
+the same run -- with a failover recovery latency actually measured, and
+that the network serving layer (``bench_serving.py``, whose fields merge
+into the same document) kept at least ``SERVED_COLUMNAR_FLOOR`` of the
+same run's in-process columnar throughput while answering every read
+poll during the bulk-ingest window (thresholds are imported from the
+bench modules so the CI steps enforce one policy)::
 
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+    PYTHONPATH=src python benchmarks/bench_serving.py
     PYTHONPATH=src python benchmarks/check_perf_regression.py
 
 The two documents must come from the same workload (the committed baseline
@@ -92,6 +96,7 @@ def current_run_checks(current: dict, source: str) -> list[str]:
         TIME_BLOCKED_FLOOR,
         WAL_INGEST_FLOOR,
     )
+    from bench_serving import SERVED_COLUMNAR_FLOOR
 
     failures = []
     try:
@@ -184,6 +189,43 @@ def current_run_checks(current: dict, source: str) -> list[str]:
             f"failover recovery latency is {recovery!r}: the sharded "
             "benchmark's SIGKILL-and-failover measurement did not run"
         )
+    try:
+        served_ratio = current["served_vs_inprocess_ratio"]
+        served_workload = current["served_workload"]
+        served_p99 = current["served_request_p99_ms"]
+        polls_ok = current["served_polls_ok"]
+        polls_failed = current["served_polls_failed"]
+    except KeyError as error:
+        raise SystemExit(
+            f"{source}: missing {error.args[0]!r}; regenerate with "
+            "bench_serving.py (the serving benchmark merges its fields "
+            "into the same document)"
+        )
+    if served_workload != "full":
+        raise SystemExit(
+            f"{source}: served_workload is {served_workload!r}; the "
+            "served-throughput gate needs a full run.  Re-run "
+            "bench_serving.py without --smoke."
+        )
+    if served_ratio < SERVED_COLUMNAR_FLOOR:
+        failures.append(
+            f"served throughput across {current.get('served_clients', '?')} "
+            f"concurrent HTTP clients is only {served_ratio:.2f}x the same "
+            f"run's in-process {GATED_FLEET}-series columnar ingest (floor "
+            f"{SERVED_COLUMNAR_FLOOR:.1f}x): the network front door costs "
+            "more than half the library's speed"
+        )
+    if polls_ok == 0 or polls_failed > 0:
+        failures.append(
+            f"reads starved behind bulk writes: {polls_ok} health+anomaly "
+            f"polls answered, {polls_failed} failed during the served "
+            "ingest window"
+        )
+    if not served_p99 > 0:
+        failures.append(
+            f"served request p99 latency is {served_p99!r}: the latency "
+            "measurement did not run"
+        )
     return failures
 
 
@@ -256,6 +298,14 @@ def main(argv: list[str] | None = None) -> int:
         f"{GATED_FLEET}-series columnar ingest across "
         f"{current['sharded_workers']} workers; failover recovery "
         f"{current['failover_recovery_seconds']:.2f}s"
+    )
+    print(
+        f"serving tier: {current['served_clients']} concurrent HTTP "
+        f"clients sustained {current['served_vs_inprocess_ratio']:.2f}x "
+        "the in-process columnar ingest "
+        f"(p50 {current['served_request_p50_ms']:.1f} ms, "
+        f"p99 {current['served_request_p99_ms']:.1f} ms; "
+        f"{current['served_polls_ok']} read polls answered during ingest)"
     )
     if failed:
         return 1

@@ -1,0 +1,170 @@
+"""Network serving demo: columnar HTTP ingest, pagination, degraded mode.
+
+Everything below the wire is a library; ``repro.serving`` turns it into a
+service.  This demo walks the full front door:
+
+1. a real asyncio HTTP server (started in a thread here; in production
+   ``python -m repro.serving --store DIR`` or ``--cluster SPEC.json``)
+   over a **2-shard cluster** of durable worker processes;
+2. columnar bulk ingest -- one request carries the whole fleet's rounds
+   as a raw float64 grid, never per-point JSON;
+3. paging through ``GET /v1/anomalies`` with the keyset cursor;
+4. a graceful shutdown (drain, checkpoint every shard, release leases),
+   then a restart over the *same* stores with one shard wired to
+   crash-loop -- simulating a wedged node that SIGKILLs on every write;
+5. the degraded contract: strict ingest answers 503, ``GET /health``
+   names the down shard, and ``allow_partial=1`` serves the surviving
+   shard while naming exactly the keys it skipped.
+
+Run with::
+
+    PYTHONPATH=src python examples/serving_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.faults import FaultInjector
+from repro.serving import (
+    EngineBackend,  # noqa: F401  (single-engine alternative to the cluster)
+    RouterBackend,
+    ServingApp,
+    ServingClient,
+    ServingError,
+    ServingServer,
+)
+from repro.sharding import ClusterSpec, ShardRouter
+from repro.specs import DecomposerSpec, DetectorSpec, EngineSpec, PipelineSpec
+
+PERIOD = 12
+N_SERIES = 24
+N_SHARDS = 2
+ROUNDS = PERIOD * 8
+
+
+def make_grid(seed: int = 9) -> tuple[list, np.ndarray]:
+    """Round-major ``(ROUNDS, N_SERIES)`` seasonal grid with spikes."""
+    rng = np.random.default_rng(seed)
+    keys = [f"sensor-{index:03d}" for index in range(N_SERIES)]
+    time_axis = np.arange(ROUNDS)[:, None]
+    phase = rng.uniform(0.0, 2 * np.pi, N_SERIES)[None, :]
+    grid = (
+        50.0
+        + 8.0 * np.sin(2 * np.pi * time_axis / PERIOD + phase)
+        + rng.normal(0.0, 0.5, (ROUNDS, N_SERIES))
+    )
+    # Recurring fat spikes in the live region -> ring entries to page.
+    warm = 3 * PERIOD
+    for column in range(N_SERIES):
+        spike_rows = range(warm + column % PERIOD, ROUNDS, 2 * PERIOD)
+        grid[list(spike_rows), column] += 60.0
+    return keys, grid
+
+
+def serve(backend) -> tuple[ServingServer, str, int]:
+    server = ServingServer(ServingApp(backend))
+    host, port = server.start_in_thread()
+    return server, host, port
+
+
+def main() -> None:
+    spec = EngineSpec(
+        pipeline=PipelineSpec(
+            decomposer=DecomposerSpec("oneshotstl", {"period": PERIOD}),
+            detector=DetectorSpec("nsigma", {"threshold": 4.0}),
+        ),
+        initialization_length=2 * PERIOD,
+    )
+    root = Path(tempfile.mkdtemp(prefix="serving-demo-")) / "cluster"
+    cluster = ClusterSpec.for_root(spec, root, n_shards=N_SHARDS)
+    keys, grid = make_grid()
+
+    # ---- phase 1: healthy cluster behind the HTTP front door ----------
+    router = ShardRouter(cluster)
+    server, host, port = serve(RouterBackend(router))
+    with ServingClient(host, port) as client:
+        health = client.health()
+        print(
+            f"health: {health['status']}, backend={health['backend']}, "
+            f"shards={sorted(health['shards'])}"
+        )
+        summary = client.ingest(keys, grid)
+        print(
+            f"ingested {summary.rows} points across {len(summary.keys)} "
+            f"series in one columnar request "
+            f"({summary.anomalies_total} anomalies flagged)"
+        )
+        stats = client.series_stats(keys[0])
+        print(
+            f"{keys[0]}: {stats['points']} points, "
+            f"{stats['anomalies']} anomalies, status={stats['status']}"
+        )
+
+        print("latest anomalies, newest first, 4 per page:")
+        cursor = None
+        pages = 0
+        while True:
+            listing = client.anomalies(limit=4, sort="-index", cursor=cursor)
+            pages += 1
+            for item in listing["items"]:
+                print(
+                    f"  round {item['index']:3d}  {item['key']}  "
+                    f"value {item['value']:7.1f}  "
+                    f"score {item['anomaly_score']:5.1f}"
+                )
+            cursor = listing["page"]["next_cursor"]
+            if cursor is None or pages == 2:  # two pages are enough here
+                print(f"  ... {listing['page']['total']} total in the ring")
+                break
+    server.stop()  # drain, checkpoint every shard, release the leases
+    print("graceful shutdown: shards checkpointed, leases released\n")
+
+    # ---- phase 2: same stores, one shard wedged into a crash loop -----
+    victim = "shard-000"
+    router = ShardRouter(
+        cluster,
+        circuit_threshold=2,
+        fault_plans={
+            victim: [
+                FaultInjector(
+                    point="wal.append.before",
+                    action="sigkill",
+                    times=0,
+                    persist=True,  # replacement workers die the same way
+                )
+            ]
+        },
+    )
+    server, host, port = serve(RouterBackend(router))
+    with ServingClient(host, port) as client:
+        tail = grid[-PERIOD:] + 0.25
+        for attempt in (1, 2):
+            try:
+                client.ingest(keys, tail)
+            except ServingError as error:
+                print(
+                    f"strict ingest attempt {attempt}: HTTP {error.status} "
+                    f"{error.code} (retriable={error.retriable})"
+                )
+        health = client.health()
+        print(
+            f"health: {health['status']}, down_shards={health['down_shards']}"
+        )
+        partial = client.ingest(keys, tail, allow_partial=True)
+        print(
+            f"allow_partial ingest: {len(partial.keys)} keys requested, "
+            f"{len(partial.skipped_keys)} skipped on down "
+            f"{list(partial.down_shards)}, complete={partial.complete}"
+        )
+        served = [key for key in keys if key not in partial.skipped_keys]
+        print(
+            f"surviving shard applied {len(served)} series, e.g. "
+            + ", ".join(served[:4])
+        )
+    server.stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Network serving layer: the stack as a service, stdlib-only.
+
+Everything below this package is a library -- durable engine sessions
+(:mod:`repro.streaming.engine`), a sharded tier with failover
+(:mod:`repro.sharding`).  This package is the network front door that
+turns it into a service:
+
+* :mod:`repro.serving.protocol` -- columnar binary wire format: one
+  request body carries a ``(rounds, n_keys)`` float64 grid for
+  thousands of series (never per-point JSON), and the reply is a
+  columnar per-key summary;
+* :mod:`repro.serving.app` -- framework-free request router with
+  bulk ingest, per-key query, paginated anomaly listing, bounded
+  in-flight backpressure (503 + ``Retry-After``), and degraded
+  ``allow_partial`` responses naming skipped keys;
+* :mod:`repro.serving.server` -- asyncio HTTP/1.1 server with
+  keep-alive and a strict graceful shutdown (stop accepting -> drain ->
+  checkpoint -> release the store lease -> exit 0), launchable via
+  ``python -m repro.serving``;
+* :mod:`repro.serving.client` -- thin blocking client shared by tests,
+  examples, and the load benchmark.
+
+Quick start::
+
+    from repro.serving import (
+        EngineBackend, ServingApp, ServingClient, ServingServer,
+    )
+    from repro.streaming.engine import MultiSeriesEngine
+
+    engine = MultiSeriesEngine.open("/var/lib/fleet", spec=spec)
+    server = ServingServer(ServingApp(EngineBackend(engine)))
+    host, port = server.start_in_thread()
+    with ServingClient(host, port) as client:
+        client.ingest(keys, grid)        # one columnar request
+        client.anomalies(limit=50)       # paginated ring of recent hits
+    server.stop()                        # drains, checkpoints, releases
+"""
+
+from repro.serving.app import (
+    AnomalyEvent,
+    AnomalyRing,
+    BackendUnavailableError,
+    EngineBackend,
+    Request,
+    Response,
+    RouterBackend,
+    ServingApp,
+)
+from repro.serving.client import ServingClient, ServingError
+from repro.serving.protocol import (
+    CONTENT_TYPE_COLUMNAR,
+    CONTENT_TYPE_JSON,
+    IngestSummary,
+    ProtocolError,
+    decode_grid,
+    decode_summary,
+    encode_grid,
+    encode_summary,
+)
+from repro.serving.server import ServingServer
+
+__all__ = [
+    "AnomalyEvent",
+    "AnomalyRing",
+    "BackendUnavailableError",
+    "CONTENT_TYPE_COLUMNAR",
+    "CONTENT_TYPE_JSON",
+    "EngineBackend",
+    "IngestSummary",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "RouterBackend",
+    "ServingApp",
+    "ServingClient",
+    "ServingError",
+    "ServingServer",
+    "decode_grid",
+    "decode_summary",
+    "encode_grid",
+    "encode_summary",
+]

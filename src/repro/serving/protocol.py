@@ -1,0 +1,247 @@
+"""Columnar wire format for the serving layer: JSON header + raw float64.
+
+A bulk-ingest request carries thousands of series in **one** HTTP body --
+never per-point JSON.  The framing is deliberately trivial so any client
+can speak it without a schema compiler:
+
+.. code-block:: text
+
+    +---------+----------------+---------------------+------------------+
+    | "RCW1"  | header length  | header (UTF-8 JSON) | payload (arrays) |
+    | 4 bytes | uint32, LE     | header-length bytes | rest of the body |
+    +---------+----------------+---------------------+------------------+
+
+The header is a small JSON object describing the payload; the payload is
+the raw array data, little-endian, concatenated in the order the header's
+``arrays`` field names.  For an **ingest request** the payload is one
+round-major ``(rounds, n_keys)`` float64 grid -- column ``j`` holds
+``rounds`` consecutive observations of ``keys[j]`` -- exactly the form
+:meth:`repro.streaming.MultiSeriesEngine.ingest_grid` consumes, so a
+request deserializes into the engine's fastest input path with a single
+``np.frombuffer``.  The **ingest summary** reply is columnar too: per-key
+``points`` / ``anomalies`` counts (int64) and the key's latest
+``last_score`` (float64, NaN while warming), plus totals and the
+degraded-mode ``skipped_keys`` in the header.
+
+Control-plane endpoints (health, stats, anomaly listing) use plain JSON;
+:func:`dump_json` / :func:`parse_json` pin the encoding.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "CONTENT_TYPE_COLUMNAR",
+    "CONTENT_TYPE_JSON",
+    "IngestSummary",
+    "ProtocolError",
+    "decode_grid",
+    "decode_summary",
+    "dump_json",
+    "encode_grid",
+    "encode_summary",
+    "parse_json",
+]
+
+#: media type of the binary columnar frames (requests and summaries)
+CONTENT_TYPE_COLUMNAR = "application/x-repro-columnar"
+#: media type of the JSON control plane
+CONTENT_TYPE_JSON = "application/json"
+
+_MAGIC = b"RCW1"
+_LENGTH = struct.Struct("<I")
+#: ceiling on the header JSON (the grid itself rides in the payload)
+_MAX_HEADER_BYTES = 8 * 1024 * 1024
+
+_GRID_KIND = "ingest"
+_SUMMARY_KIND = "ingest-summary"
+
+
+class ProtocolError(ValueError):
+    """A frame that does not parse as the columnar wire format."""
+
+
+def _frame(header: dict, payload: bytes) -> bytes:
+    encoded = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    return b"".join((_MAGIC, _LENGTH.pack(len(encoded)), encoded, payload))
+
+
+def _unframe(body: bytes, expected_kind: str) -> tuple[dict, memoryview]:
+    if len(body) < 8 or body[:4] != _MAGIC:
+        raise ProtocolError(
+            "not a columnar frame: expected the 4-byte magic "
+            f"{_MAGIC!r} followed by a little-endian header length"
+        )
+    (header_length,) = _LENGTH.unpack_from(body, 4)
+    if header_length > _MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"columnar frame header claims {header_length} bytes "
+            f"(limit {_MAX_HEADER_BYTES})"
+        )
+    end = 8 + header_length
+    if len(body) < end:
+        raise ProtocolError(
+            f"columnar frame truncated: header claims {header_length} "
+            f"bytes but only {len(body) - 8} follow"
+        )
+    try:
+        header = json.loads(body[8:end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"columnar frame header is not JSON: {error}")
+    if not isinstance(header, dict):
+        raise ProtocolError("columnar frame header must be a JSON object")
+    kind = header.get("kind")
+    if kind != expected_kind:
+        raise ProtocolError(
+            f"columnar frame kind is {kind!r}, expected {expected_kind!r}"
+        )
+    return header, memoryview(body)[end:]
+
+
+def _header_keys(header: dict) -> list[str]:
+    keys = header.get("keys")
+    if not isinstance(keys, list) or not all(
+        isinstance(key, str) for key in keys
+    ):
+        raise ProtocolError(
+            "columnar frame header field 'keys' must be a list of strings"
+        )
+    return keys
+
+
+def encode_grid(keys: Sequence[str], grid: np.ndarray) -> bytes:
+    """Encode a bulk-ingest request: ``keys`` plus a round-major grid.
+
+    ``grid`` must be (coercible to) a 2-D float array of shape
+    ``(rounds, len(keys))``; a 1-D array is accepted as a single row of
+    one observation per key.
+    """
+    keys = [str(key) for key in keys]
+    grid = np.asarray(grid, dtype="<f8")
+    if grid.ndim == 1:
+        grid = grid.reshape(1, -1)
+    if grid.ndim != 2 or grid.shape[1] != len(keys):
+        raise ProtocolError(
+            "ingest grid must be round-major (rounds, n_keys); got shape "
+            f"{grid.shape} for {len(keys)} keys"
+        )
+    header = {"kind": _GRID_KIND, "keys": keys, "rounds": int(grid.shape[0])}
+    return _frame(header, np.ascontiguousarray(grid).tobytes())
+
+
+def decode_grid(body: bytes) -> tuple[list[str], np.ndarray]:
+    """Decode a bulk-ingest request into ``(keys, (rounds, n) grid)``."""
+    header, payload = _unframe(body, _GRID_KIND)
+    keys = _header_keys(header)
+    if len(set(keys)) != len(keys):
+        raise ProtocolError("ingest request keys must be unique")
+    rounds = header.get("rounds")
+    if not isinstance(rounds, int) or isinstance(rounds, bool) or rounds < 0:
+        raise ProtocolError(
+            "columnar frame header field 'rounds' must be an int >= 0"
+        )
+    expected = rounds * len(keys) * 8
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"ingest payload is {len(payload)} bytes; a {rounds} x "
+            f"{len(keys)} float64 grid needs exactly {expected}"
+        )
+    grid = np.frombuffer(payload, dtype="<f8").reshape(rounds, len(keys))
+    return keys, grid.astype(float, copy=False)
+
+
+@dataclass(frozen=True, slots=True)
+class IngestSummary:
+    """Columnar outcome of one bulk ingest: per-key arrays plus totals.
+
+    ``points[j]`` / ``anomalies[j]`` count the observations applied and
+    anomalies flagged for ``keys[j]`` by this request; ``last_score[j]``
+    is the key's most recent anomaly score (NaN while the series is still
+    warming, or when the key was skipped).  ``skipped_keys`` names keys a
+    degraded (``allow_partial``) ingest did **not** serve -- their
+    ``points`` entries are zero and their values must be re-sent.
+    """
+
+    keys: tuple[str, ...]
+    points: np.ndarray
+    anomalies: np.ndarray
+    last_score: np.ndarray
+    rows: int
+    anomalies_total: int
+    skipped_keys: tuple[str, ...] = ()
+    down_shards: tuple[str, ...] = field(default=())
+
+    @property
+    def complete(self) -> bool:
+        """True when nothing was skipped: every key's slice was applied."""
+        return not self.skipped_keys and not self.down_shards
+
+
+def encode_summary(summary: IngestSummary) -> bytes:
+    """Encode an :class:`IngestSummary` as a columnar frame."""
+    points = np.ascontiguousarray(summary.points, dtype="<i8")
+    anomalies = np.ascontiguousarray(summary.anomalies, dtype="<i8")
+    last_score = np.ascontiguousarray(summary.last_score, dtype="<f8")
+    n_keys = len(summary.keys)
+    if not points.size == anomalies.size == last_score.size == n_keys:
+        raise ProtocolError(
+            "summary arrays must align with keys: "
+            f"{points.size}/{anomalies.size}/{last_score.size} entries for "
+            f"{n_keys} keys"
+        )
+    header = {
+        "kind": _SUMMARY_KIND,
+        "keys": list(summary.keys),
+        "rows": int(summary.rows),
+        "anomalies_total": int(summary.anomalies_total),
+        "skipped_keys": list(summary.skipped_keys),
+        "down_shards": list(summary.down_shards),
+        "arrays": ["points:<i8", "anomalies:<i8", "last_score:<f8"],
+    }
+    payload = points.tobytes() + anomalies.tobytes() + last_score.tobytes()
+    return _frame(header, payload)
+
+
+def decode_summary(body: bytes) -> IngestSummary:
+    """Decode a columnar ingest summary produced by :func:`encode_summary`."""
+    header, payload = _unframe(body, _SUMMARY_KIND)
+    keys = _header_keys(header)
+    n_keys = len(keys)
+    expected = n_keys * (8 + 8 + 8)
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"summary payload is {len(payload)} bytes; three arrays of "
+            f"{n_keys} entries need exactly {expected}"
+        )
+    split_1, split_2 = n_keys * 8, n_keys * 16
+    return IngestSummary(
+        keys=tuple(keys),
+        points=np.frombuffer(payload[:split_1], dtype="<i8").copy(),
+        anomalies=np.frombuffer(
+            payload[split_1:split_2], dtype="<i8"
+        ).copy(),
+        last_score=np.frombuffer(payload[split_2:], dtype="<f8").copy(),
+        rows=int(header.get("rows", 0)),
+        anomalies_total=int(header.get("anomalies_total", 0)),
+        skipped_keys=tuple(header.get("skipped_keys") or ()),
+        down_shards=tuple(header.get("down_shards") or ()),
+    )
+
+
+def dump_json(payload: object) -> bytes:
+    """Encode a control-plane JSON body (compact, UTF-8)."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8")
+
+
+def parse_json(body: bytes) -> object:
+    """Decode a control-plane JSON body."""
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"body is not JSON: {error}")

@@ -967,6 +967,37 @@ class ShardRouter:
             values = np.array([row[1] for row in rows], dtype=float)
         return self._ingest_rows(keys, values, allow_partial)
 
+    def ingest_grid(
+        self,
+        round_keys: list,
+        grid: "np.ndarray | Sequence",
+        *,
+        allow_partial: bool = False,
+    ) -> IngestResult | DegradedResult:
+        """Ingest a round-major ``(rounds, n_keys)`` grid across the cluster.
+
+        The already-columnar twin of :meth:`ingest`'s dict form -- the
+        serving layer's wire format decodes straight into ``(keys,
+        grid)``, and this entry point forwards it without rebuilding a
+        dict.  Column ``j`` holds ``rounds`` consecutive observations of
+        ``round_keys[j]``; the grid is partitioned by column onto shards
+        (one message per shard) and the combined
+        :class:`~repro.streaming.IngestResult` comes back in round-major
+        order.  Error/partial semantics are exactly :meth:`ingest`'s.
+        """
+        grid = np.asarray(grid, dtype=float)
+        if grid.ndim == 1:
+            grid = grid.reshape(1, -1)
+        keys = list(round_keys)
+        if grid.ndim != 2 or grid.shape[1] != len(keys):
+            raise ValueError(
+                "ingest_grid expects a round-major (rounds, n_keys) grid; "
+                f"got shape {grid.shape} for {len(keys)} keys"
+            )
+        if len(set(keys)) != len(keys):
+            raise ValueError("ingest_grid keys must be unique")
+        return self._ingest_grid(keys, grid, allow_partial)
+
     def _ingest_grid(
         self, round_keys: list, grid: np.ndarray, allow_partial: bool = False
     ) -> IngestResult | DegradedResult:
@@ -1191,6 +1222,18 @@ class ShardRouter:
                 allow_partial=False,
             )
             raise AssertionError("unreachable: strict casualties raise")
+
+    def series_stats(self, key: Hashable) -> Any:
+        """One series' :class:`~repro.streaming.SeriesStats`, from its shard.
+
+        Raises :class:`KeyError` for a key no shard has seen (the
+        worker's error travels back over the command protocol), and
+        :class:`ShardDownError` when the owning shard's circuit breaker
+        is open.
+        """
+        return self._request_supervised(
+            self.shard_of(key), "series_stats", key
+        )
 
     # -------------------------------------------------------------- fleet ops
 

@@ -207,6 +207,8 @@ def worker_main(
                 reply = engine.forecast(key, horizon)
             elif command == "stats":
                 reply = engine.fleet_stats()
+            elif command == "series_stats":
+                reply = engine.series_stats(payload)
             elif command == "keys":
                 reply = engine.keys()
             elif command == "points_total":
